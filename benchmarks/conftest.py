@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures/tables (or an
+analysis the paper states in prose) and prints the rows it measured.  Run
+with ``pytest benchmarks/ --benchmark-only -s`` to see both the tables and
+the timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a result table (kept visible in captured output sections)."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def catalog_setup():
+    """A moderately sized catalog document outsourced once per session."""
+    from repro.core import outsource_document
+    from repro.workloads import CatalogConfig, generate_catalog_document
+
+    document = generate_catalog_document(CatalogConfig(customers=12, products=8))
+    client, server_tree, tree = outsource_document(document, seed=b"bench-catalog")
+    return document, client, server_tree, tree

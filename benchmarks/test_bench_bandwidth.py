@@ -1,0 +1,81 @@
+"""Experiment E10: bandwidth — thin clients and the trusted-server optimisation.
+
+§4.3 ends with: transmitting only the constant coefficients "reduces
+bandwidth and increases efficiency but decreases security".  The paper's
+introduction motivates everything with thin clients on low-bandwidth
+links, for which the alternative is downloading the whole database.
+
+Measured here, in actual wire bytes of the protocol encoding:
+
+* the scheme with FULL / CONSTANT_ONLY / NONE verification,
+* the download-everything baseline,
+for a selective and an unselective lookup.
+"""
+
+from repro.analysis import (
+    format_table,
+    measure_download_all_bandwidth,
+    measure_lookup_bandwidth,
+)
+from repro.core import VerificationMode
+
+from conftest import emit
+
+_TAGS = ["location", "customer", "product"]
+
+
+def _collect_rows(document, client, server_tree):
+    rows = []
+    by_key = {}
+    for tag in _TAGS:
+        for row in measure_lookup_bandwidth(client, server_tree, tag):
+            rows.append([tag, row.mode, row.bytes_to_server, row.bytes_to_client,
+                         row.total_bytes, row.round_trips])
+            by_key[(tag, row.mode)] = row
+        download = measure_download_all_bandwidth(document, tag)
+        rows.append([tag, download.mode, download.bytes_to_server,
+                     download.bytes_to_client, download.total_bytes,
+                     download.round_trips])
+        by_key[(tag, download.mode)] = download
+    return rows, by_key
+
+
+def test_lookup_bandwidth_modes(benchmark, catalog_setup):
+    document, client, server_tree, _ = catalog_setup
+    rows, by_key = benchmark(_collect_rows, document, client, server_tree)
+    emit(format_table(
+        ["query tag", "mode", "bytes→server", "bytes→client", "total bytes",
+         "round trips"], rows,
+        title="E10 — per-query bandwidth by verification mode vs download-all"))
+
+    for tag in _TAGS:
+        full = by_key[(tag, "scheme/full")]
+        constant = by_key[(tag, "scheme/constant-only")]
+        none = by_key[(tag, "scheme/none")]
+        download = by_key[(tag, "baseline/download-all")]
+        # The §4.3 trade-off: less verification, less traffic.
+        assert full.total_bytes > constant.total_bytes > none.total_bytes
+        # The thin-client motivation: for selective queries the scheme moves far
+        # fewer bytes than downloading the whole database.
+        if tag == "location":
+            assert none.total_bytes < download.total_bytes
+            assert constant.total_bytes < download.total_bytes
+
+
+def test_verification_traffic_scales_with_candidates(benchmark, catalog_setup):
+    """FULL-verification overhead is proportional to candidate answers, not to
+    the document size — querying a rare tag verifies almost nothing."""
+    document, client, server_tree, _ = catalog_setup
+
+    def _run():
+        rare = measure_lookup_bandwidth(client, server_tree, "location",
+                                        modes=[VerificationMode.FULL])[0]
+        common = measure_lookup_bandwidth(client, server_tree, "product",
+                                          modes=[VerificationMode.FULL])[0]
+        return rare, common
+
+    rare, common = benchmark(_run)
+    emit(f"E10b — FULL verification bytes: rare tag {rare.total_bytes}B "
+         f"({rare.matches} matches) vs common tag {common.total_bytes}B "
+         f"({common.matches} matches)")
+    assert rare.total_bytes < common.total_bytes

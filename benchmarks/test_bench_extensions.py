@@ -1,0 +1,113 @@
+"""Experiments E14–E15 (extensions beyond the paper's evaluation).
+
+E14 — dynamic update cost: the paper only describes static outsourcing;
+this ablation measures how many shares an insert/delete/rename rewrites as
+the document grows, confirming that updates touch the affected path (and
+the new subtree), not the whole document.
+
+E15 — keyword search over content (the §5 future-work sketch): candidate
+quality and pruning of the hashed content index as the hash range (ring
+size) varies — the trade-off the paper alludes to when it notes the
+mapping "is no longer invertible".
+"""
+
+from repro.algebra import FpQuotientRing
+from repro.analysis import format_table
+from repro.core import (
+    ContentIndexBuilder,
+    ContentSearchClient,
+    UpdatableTree,
+    choose_fp_ring,
+    outsource_document,
+)
+from repro.prg import DeterministicPRG
+from repro.core import tokenize
+from repro.workloads import CatalogConfig, generate_catalog_document
+from repro.xmltree import parse_element
+
+from conftest import emit
+
+_CUSTOMER_COUNTS = [5, 10, 20, 40]
+
+
+def _update_cost_rows():
+    rows = []
+    per_size = {}
+    for customers in _CUSTOMER_COUNTS:
+        document = generate_catalog_document(CatalogConfig(customers=customers,
+                                                           products=6))
+        ring = choose_fp_ring(len(document.distinct_tags()) + 4)
+        client, server_tree, _ = outsource_document(document, ring=ring,
+                                                    seed=b"bench-updates")
+        editor = UpdatableTree(client.ring, client.mapping, client.share_generator,
+                               server_tree)
+        n = server_tree.node_count()
+
+        target_customer = client.lookup(server_tree, "customer").matches[0]
+        insert = editor.insert_subtree(target_customer, parse_element(
+            "<order><date>x</date><item><product>p</product></item></order>"))
+        rename = editor.rename_node(client.lookup(server_tree, "order").matches[0],
+                                    "archived_order")
+        delete = editor.delete_subtree(
+            client.lookup(server_tree, "customer").matches[-1])
+
+        per_size[customers] = (n, insert.shares_rewritten, delete.shares_rewritten)
+        rows.append([customers, n,
+                     insert.shares_rewritten, rename.shares_rewritten,
+                     delete.shares_rewritten])
+    return rows, per_size
+
+
+def test_update_costs_stay_local(benchmark):
+    rows, per_size = benchmark(_update_cost_rows)
+    emit(format_table(
+        ["customers", "document nodes", "insert: shares rewritten",
+         "rename: shares rewritten", "delete: shares rewritten"], rows,
+        title="E14 — update cost vs document size (path-local, not document-wide)"))
+    # The rewritten-share count is governed by depth/fanout, not by n: growing
+    # the document 8x must not grow the insert cost proportionally.
+    small_n, small_insert, small_delete = per_size[_CUSTOMER_COUNTS[0]]
+    large_n, large_insert, large_delete = per_size[_CUSTOMER_COUNTS[-1]]
+    assert large_n > 4 * small_n
+    assert large_insert <= small_insert + 2
+    assert large_delete <= small_delete + 2
+
+
+def _keyword_rows():
+    document = generate_catalog_document(CatalogConfig(customers=10, products=8))
+    words = ["enschede", "main", "sku", "street", "absentword"]
+    truth = {}
+    for index, element in enumerate(document.elements()):
+        for word in tokenize(element.text):
+            truth.setdefault(word, set()).add(index)
+
+    rows = []
+    for prime in (11, 53, 257):
+        builder = ContentIndexBuilder(FpQuotientRing(prime),
+                                      DeterministicPRG(b"bench-keywords"))
+        generator, content_tree, store = builder.build(document)
+        search = ContentSearchClient(builder, generator, content_tree, store)
+        for word in words:
+            result = search.search(word)
+            expected = truth.get(word, set())
+            assert set(result.confirmed_nodes) == expected
+            rows.append([prime, word, len(result.candidate_nodes),
+                         len(result.confirmed_nodes), result.false_positives,
+                         result.stats.nodes_evaluated])
+    return rows
+
+
+def test_keyword_index_ring_size_ablation(benchmark):
+    rows = benchmark(_keyword_rows)
+    emit(format_table(
+        ["hash range (p)", "keyword", "candidates", "confirmed",
+         "collisions filtered", "nodes evaluated"], rows,
+        title="E15 — keyword search: hash-range ablation "
+              "(collisions shrink as p grows; answers always exact)"))
+    by_prime = {}
+    for prime, _, candidates, confirmed, collisions, _ in rows:
+        totals = by_prime.setdefault(prime, [0, 0])
+        totals[0] += candidates
+        totals[1] += confirmed
+    # Larger rings give tighter candidate sets (fewer collision-induced visits).
+    assert by_prime[257][0] <= by_prime[11][0]

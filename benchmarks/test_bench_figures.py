@@ -1,0 +1,116 @@
+"""Experiments E1–E7: the paper's worked example, figures 1 through 6.
+
+Regenerates every value printed in the figures and times the three phases
+of the scheme on the figure-1 document (encoding, sharing, querying).
+"""
+
+from repro.analysis import format_table
+from repro.core import LocalServerAdapter, encode_document, outsource_document, share_tree
+from repro.prg import DeterministicPRG
+from repro.workloads import (
+    expected_figure2_fp_polynomials,
+    expected_figure2_int_polynomials,
+    expected_figure5_sums,
+    expected_figure6_sums,
+    figure1_document,
+    figure1_fp_ring,
+    figure1_int_ring,
+    figure1_mapping,
+)
+
+from conftest import emit
+
+
+def _paths(document):
+    return [element.tag_path() for element in document.iter()]
+
+
+def test_figure1_and_2_encoding(benchmark):
+    """E1–E3: the encoded polynomial trees match figure 2 exactly."""
+    document = figure1_document()
+    mapping = figure1_mapping()
+    fp_ring, int_ring = figure1_fp_ring(), figure1_int_ring()
+
+    fp_tree = benchmark(encode_document, document, mapping, fp_ring)
+    int_tree = encode_document(document, mapping, int_ring)
+
+    paths = _paths(document)
+    rows = []
+    for node in fp_tree.iter_preorder():
+        rows.append([node.node_id, paths[node.node_id],
+                     str(node.polynomial), str(int_tree.polynomial(node.node_id))])
+    emit(format_table(["node", "tag path", "F_5[x]/(x^4-1)  (fig 2a)",
+                       "Z[x]/(x^2+1)  (fig 2b)"], rows,
+                      title="Figure 1/2: encoded polynomial trees"))
+
+    expected_fp = expected_figure2_fp_polynomials()
+    expected_int = expected_figure2_int_polynomials()
+    for node in fp_tree.iter_preorder():
+        assert list(node.polynomial.coeffs) == expected_fp[paths[node.node_id]]
+        assert list(int_tree.polynomial(node.node_id).coeffs) == \
+            expected_int[paths[node.node_id]]
+
+
+def test_figure3_and_4_sharing(benchmark):
+    """E4–E5: client/server shares sum to the figure-2 polynomials."""
+    document = figure1_document()
+    mapping = figure1_mapping()
+
+    def _share_both():
+        results = {}
+        for name, ring in (("F_5", figure1_fp_ring()), ("Z[x^2+1]", figure1_int_ring())):
+            tree = encode_document(document, mapping, ring)
+            client, server = share_tree(tree, DeterministicPRG(b"figures-3-4"))
+            results[name] = (ring, tree, client, server)
+        return results
+
+    results = benchmark(_share_both)
+    rows = []
+    for name, (ring, tree, client, server) in results.items():
+        for node in tree.iter_preorder():
+            client_share = client.share_for(node.node_id)
+            server_share = server.share_of(node.node_id)
+            total = ring.add(client_share, server_share)
+            assert total == node.polynomial
+            rows.append([name, node.node_id, str(client_share), str(server_share),
+                         str(total)])
+    emit(format_table(["ring", "node", "client share", "server share",
+                       "sum (= figure 2)"], rows,
+                      title="Figures 3/4: additive sharing (sums equal the encoding)"))
+
+
+def test_figure5_and_6_query(benchmark):
+    """E6–E7: the //client query (x = 2) reproduces the figure 5/6 sum trees."""
+    document = figure1_document()
+    mapping = figure1_mapping()
+    paths = _paths(document)
+    rows = []
+
+    for figure, ring, expected in (("5", figure1_fp_ring(), expected_figure5_sums()),
+                                   ("6", figure1_int_ring(), expected_figure6_sums())):
+        client, server_tree, tree = outsource_document(
+            document, ring=ring, mapping=figure1_mapping(), seed=b"figures-5-6",
+            strict=False)
+        point = mapping.value("client")
+        for node in tree.iter_preorder():
+            client_value = ring.evaluate(client.share_generator.share_for(node.node_id),
+                                         point)
+            server_value = server_tree.evaluate(node.node_id, point)
+            total = ring.evaluation_add(client_value, server_value, point)
+            assert total == expected[paths[node.node_id]]
+            rows.append([figure, node.node_id, paths[node.node_id], client_value,
+                         server_value, total])
+
+    emit(format_table(["figure", "node", "tag path", "client eval", "server eval",
+                       "sum"], rows,
+                      title="Figures 5/6: query x=2 — sum 0 means the subtree "
+                            "contains 'client'"))
+
+    # Time the full interactive protocol on the F_5 instance.
+    client, server_tree, _ = outsource_document(
+        document, ring=figure1_fp_ring(), mapping=figure1_mapping(),
+        seed=b"figures-5-6", strict=False)
+
+    outcome = benchmark(lambda: client.lookup(LocalServerAdapter(server_tree), "client"))
+    assert outcome.matches == [1, 3]
+    assert set(outcome.pruned_nodes) == {2, 4}

@@ -1,0 +1,93 @@
+"""Experiment E9: dead-branch pruning — "only a small portion of the tree
+has to be examined" (§5).
+
+Measures, per query tag, how many nodes each system touches:
+
+* the scheme (polynomial tree with pruning),
+* the SWP-style linear scan (always touches every node),
+* the Bloom-filter tree index (pruning with false positives),
+* the plaintext full traversal (the denominator).
+
+The shape to reproduce: for selective tags the scheme touches a small
+fraction of the tree; the linear scan always touches 100 %.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import PlaintextSearchIndex, build_bloom_index, build_linear_scan
+from repro.core import outsource_document
+from repro.workloads import CatalogConfig, generate_catalog_document
+
+from conftest import emit
+
+#: Tags ordered from very selective (few matches, localised) to unselective.
+_QUERY_TAGS = ["location", "city", "balance", "order", "product"]
+
+
+def _run_pruning_comparison():
+    document = generate_catalog_document(CatalogConfig(customers=15, products=10))
+    n = document.size()
+    plaintext = PlaintextSearchIndex(document)
+    scheme_client, server_tree, _ = outsource_document(document, seed=b"pruning")
+    linear_client, linear_index = build_linear_scan(document)
+    bloom_client, bloom_index = build_bloom_index(document)
+
+    rows = []
+    fractions = {}
+    for tag in _QUERY_TAGS:
+        truth = plaintext.lookup(tag)
+        scheme = scheme_client.lookup(server_tree, tag)
+        linear = linear_client.lookup(linear_index, tag)
+        bloom = bloom_client.lookup(bloom_index, tag)
+        assert scheme.matches == linear.matches == bloom.matches == truth.matches
+        fractions[tag] = scheme.stats.nodes_evaluated / n
+        rows.append([
+            tag, len(truth.matches), n,
+            scheme.stats.nodes_evaluated,
+            f"{scheme.stats.nodes_evaluated / n:.0%}",
+            bloom.stats.nodes_visited,
+            linear.stats.nodes_visited,
+        ])
+    return document, rows, fractions
+
+
+def test_pruning_fractions(benchmark):
+    document, rows, fractions = benchmark(_run_pruning_comparison)
+    emit(format_table(
+        ["query tag", "matches", "tree size",
+         "scheme nodes evaluated", "scheme fraction",
+         "bloom nodes visited", "linear-scan nodes visited"],
+        rows,
+        title="E9 — nodes touched per //tag lookup (pruning effectiveness)"))
+
+    n = document.size()
+    # Selective queries touch a small portion of the tree (well under half).
+    assert fractions["location"] < 0.5
+    assert fractions["city"] < 0.8
+    # The linear scan has no pruning: it always touches every node (by
+    # construction); the scheme never touches more than the whole tree.
+    assert all(fraction <= 1.0 for fraction in fractions.values())
+    # Selectivity ordering: rare tags cost less than ubiquitous ones.
+    assert fractions["location"] < fractions["product"]
+
+
+def test_pruning_on_skewed_random_documents(benchmark):
+    """Rare tags in a skewed vocabulary are found while pruning most branches."""
+    from repro.workloads import RandomXmlConfig, generate_random_document
+
+    def _run():
+        document = generate_random_document(
+            RandomXmlConfig(element_count=300, tag_vocabulary_size=12, tag_skew=1.4,
+                            seed=99))
+        client, server_tree, _ = outsource_document(document, seed=b"skew")
+        plaintext = PlaintextSearchIndex(document)
+        counts = document.tag_counts()
+        rare_tag = min((t for t in counts if t != document.root.tag), key=counts.get)
+        outcome = client.lookup(server_tree, rare_tag)
+        assert outcome.matches == plaintext.lookup(rare_tag).matches
+        return document.size(), outcome
+
+    size, outcome = benchmark(_run)
+    emit(f"E9b — rare-tag lookup on a skewed document: evaluated "
+         f"{outcome.stats.nodes_evaluated}/{size} nodes, pruned "
+         f"{outcome.stats.nodes_pruned} subtree roots")
+    assert outcome.stats.nodes_evaluated < size

@@ -1,0 +1,122 @@
+"""Experiment E13: end-to-end scaling — query cost vs document size.
+
+The paper's efficiency argument is asymptotic (§5): the smart index lets a
+query touch a small portion of the tree, whereas the obvious alternatives
+(download everything, or scan every node) pay for the whole document on
+every query.  This benchmark sweeps the document size and reports, for
+every system, the wall-clock query latency and the work/bytes per query,
+for a selective lookup.
+
+Absolute times are those of this pure-Python simulator; the shape to check
+is the relative growth: the scheme's per-query work grows with the result
+and live region, the linear scan and download-all grow with the document.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.baselines import (
+    DownloadAllClient,
+    PlaintextSearchIndex,
+    build_bloom_index,
+    build_linear_scan,
+)
+from repro.core import choose_int_ring, outsource_document
+from repro.prg import DeterministicPRG
+from repro.workloads import RandomXmlConfig, generate_random_document
+
+from conftest import emit
+
+_SIZES = [50, 100, 200, 400]
+_VOCABULARY = 10
+_QUERY_TAG = "tag0"       # one of the rarer tags with skewed generation
+
+
+def _build_document(n):
+    return generate_random_document(
+        RandomXmlConfig(element_count=n, tag_vocabulary_size=_VOCABULARY,
+                        tag_skew=1.2, seed=n + 1))
+
+
+def _time(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, (time.perf_counter() - start) * 1000.0
+
+
+def _run_sweep():
+    rows = []
+    work = {}
+    for n in _SIZES:
+        document = _build_document(n)
+        plaintext = PlaintextSearchIndex(document)
+        truth = plaintext.lookup(_QUERY_TAG).matches
+
+        fp_client, fp_tree, _ = outsource_document(document, seed=b"scale-fp")
+        int_client, int_tree, _ = outsource_document(
+            document, ring=choose_int_ring(2), seed=b"scale-int")
+        linear_client, linear_index = build_linear_scan(document)
+        bloom_client, bloom_index = build_bloom_index(document)
+        download_client = DownloadAllClient(DeterministicPRG(b"scale-dl"))
+        download_server = download_client.outsource(document)
+
+        fp_result, fp_ms = _time(lambda: fp_client.lookup(fp_tree, _QUERY_TAG))
+        int_result, int_ms = _time(lambda: int_client.lookup(int_tree, _QUERY_TAG))
+        linear_result, linear_ms = _time(
+            lambda: linear_client.lookup(linear_index, _QUERY_TAG))
+        bloom_result, bloom_ms = _time(
+            lambda: bloom_client.lookup(bloom_index, _QUERY_TAG))
+        download_result, download_ms = _time(
+            lambda: download_client.lookup(download_server, _QUERY_TAG))
+
+        for result in (fp_result, int_result):
+            assert result.matches == truth
+        for result in (linear_result, bloom_result, download_result):
+            assert result.matches == truth
+
+        document_size = document.size()
+        work[n] = {
+            "scheme_nodes": fp_result.stats.nodes_evaluated,
+            "linear_nodes": linear_result.stats.nodes_visited,
+            "download_bytes": download_result.stats.bytes_to_client,
+        }
+        rows.append([n, len(truth),
+                     f"{fp_ms:.2f}", fp_result.stats.nodes_evaluated,
+                     f"{int_ms:.2f}",
+                     f"{linear_ms:.2f}", linear_result.stats.nodes_visited,
+                     f"{bloom_ms:.2f}", bloom_result.stats.nodes_visited,
+                     f"{download_ms:.2f}", download_result.stats.bytes_to_client])
+    return rows, work
+
+
+def test_query_scaling_across_systems(benchmark):
+    rows, work = benchmark(_run_sweep)
+    emit(format_table(
+        ["n", "matches",
+         "scheme F_p ms", "scheme nodes",
+         "scheme Z[x] ms",
+         "linear ms", "linear nodes",
+         "bloom ms", "bloom nodes",
+         "download ms", "download bytes"],
+        rows,
+        title=f"E13 — //{_QUERY_TAG} lookup vs document size"))
+
+    smallest, largest = _SIZES[0], _SIZES[-1]
+    growth = largest / smallest
+    # The linear scan and download-all pay proportionally to the document.
+    assert work[largest]["linear_nodes"] / work[smallest]["linear_nodes"] >= growth * 0.9
+    assert work[largest]["download_bytes"] > work[smallest]["download_bytes"] * 2
+    # The scheme touches at most the whole tree and usually much less.
+    for n in _SIZES:
+        assert work[n]["scheme_nodes"] <= n
+
+
+def test_outsourcing_latency(benchmark, catalog_setup):
+    """Time the one-off encode+share step for the catalog document."""
+    document, _, _, _ = catalog_setup
+
+    def _outsource():
+        return outsource_document(document, seed=b"latency")
+
+    client, server_tree, _ = benchmark(_outsource)
+    assert server_tree.node_count() == document.size()

@@ -1,0 +1,75 @@
+"""Experiment E12: the §3 secure multi-party voting protocols.
+
+The paper uses anonymous voting (sum for majority, product for veto) to
+introduce Shamir-based secure multi-party computation.  This benchmark
+checks correctness over a sweep of party counts and reports the message
+complexity, which grows quadratically in the number of parties for the
+input-sharing phase.
+"""
+
+import random
+
+from repro.algebra import PrimeField
+from repro.analysis import format_table
+from repro.smc import SecureSummation, SecureVeto
+
+from conftest import emit
+
+_PARTY_COUNTS = [3, 5, 7, 9, 13, 17]
+
+
+def _run_sweep():
+    field = PrimeField(257)
+    rows = []
+    message_counts = {}
+    for parties in _PARTY_COUNTS:
+        rng = random.Random(parties)
+        votes = [rng.randint(0, 1) for _ in range(parties)]
+        summation = SecureSummation(field, threshold=3, inputs=votes, rng=rng)
+        assert summation.run() == sum(votes) % field.p
+
+        veto_votes = [1] * parties
+        veto = SecureVeto(field, threshold=2, inputs=veto_votes,
+                          rng=random.Random(parties + 1))
+        assert veto.run() == 1
+
+        blocked = SecureVeto(field, threshold=2,
+                             inputs=[1] * (parties - 1) + [0],
+                             rng=random.Random(parties + 2))
+        assert blocked.run() == 0
+
+        transcript = summation.transcript.as_dict()
+        veto_transcript = veto.transcript.as_dict()
+        message_counts[parties] = transcript["messages_sent"]
+        rows.append([parties, sum(votes), transcript["messages_sent"],
+                     transcript["rounds"], veto_transcript["messages_sent"],
+                     veto_transcript["rounds"]])
+    return rows, message_counts
+
+
+def test_voting_protocols_scaling(benchmark):
+    rows, message_counts = benchmark(_run_sweep)
+    emit(format_table(
+        ["parties", "yes votes", "sum-protocol messages", "sum rounds",
+         "veto-protocol messages", "veto rounds"], rows,
+        title="E12 — secure sum (majority) and secure product (veto) vs party count"))
+
+    # The sharing phase sends one share from every party to every other party,
+    # so message counts grow quadratically: doubling parties ~quadruples traffic.
+    small, large = message_counts[_PARTY_COUNTS[0]], message_counts[_PARTY_COUNTS[-1]]
+    expected_ratio = (_PARTY_COUNTS[-1] / _PARTY_COUNTS[0]) ** 2
+    assert large / small > expected_ratio / 2
+
+
+def test_secure_sum_latency(benchmark):
+    field = PrimeField(10007)
+    votes = [i % 2 for i in range(25)]
+    rng = random.Random(0)
+
+    def _run():
+        protocol = SecureSummation(field, threshold=5, inputs=votes,
+                                   rng=random.Random(rng.random()))
+        return protocol.run()
+
+    result = benchmark(_run)
+    assert result == sum(votes)

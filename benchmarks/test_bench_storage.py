@@ -1,0 +1,91 @@
+"""Experiment E8: the §5 storage analysis.
+
+The paper states that storing a tree of ``n`` elements over ``p`` tag names
+costs on the order of ``n·log p`` bits unencrypted, ``n(p−1)·log p`` in
+``F_p[x]/(x^{p−1}−1)`` and ``n²(d+1)·log p`` in ``Z[x]/(r(x))``.  This
+benchmark measures the concrete encodings over growing documents and
+reports measured-vs-formula ratios; the shape to check is the *ordering*
+(plaintext ≪ F_p ≪ Z for growing n) and the growth exponents.
+"""
+
+import math
+
+from repro.analysis import format_table, storage_report
+from repro.core import TagMapping, choose_fp_ring, choose_int_ring, encode_document
+from repro.workloads import RandomXmlConfig, generate_random_document
+
+from conftest import emit
+
+_SIZES = [10, 20, 40, 80, 160]
+_TAG_COUNT = 8
+
+
+def _document(n):
+    return generate_random_document(
+        RandomXmlConfig(element_count=n, tag_vocabulary_size=_TAG_COUNT, seed=n))
+
+
+def _report_rows():
+    fp_ring = choose_fp_ring(_TAG_COUNT + 1)      # +1 for the generator's root tag
+    int_ring = choose_int_ring(2)
+    rows = []
+    per_size = {}
+    for n in _SIZES:
+        document = _document(n)
+        mapping = TagMapping.for_tags(document.distinct_tags(), max_value=fp_ring.p - 2)
+        report = storage_report(document, mapping, fp_ring=fp_ring, int_ring=int_ring)
+        per_size[n] = {row.representation: row for row in report}
+        for row in report:
+            rows.append([n, row.representation, int(row.measured_bits),
+                         int(row.formula_bits), f"{row.overhead_vs_formula:.2f}"])
+    return rows, per_size, fp_ring
+
+
+def test_storage_growth(benchmark):
+    rows, per_size, fp_ring = benchmark(_report_rows)
+    emit(format_table(["n", "representation", "measured bits", "formula bits",
+                       "measured/formula"], rows,
+                      title="E8 — storage vs document size (paper §5)"))
+
+    smallest, largest = _SIZES[0], _SIZES[-1]
+    small, large = per_size[smallest], per_size[largest]
+
+    def measured(rows_by_repr, key_fragment):
+        for name, row in rows_by_repr.items():
+            if key_fragment in name:
+                return row.measured_bits
+        raise KeyError(key_fragment)
+
+    # Shape 1: the encrypted representations always cost more than plaintext.
+    for size in _SIZES:
+        plaintext_bits = measured(per_size[size], "plaintext")
+        assert measured(per_size[size], "F_") > plaintext_bits
+        assert measured(per_size[size], "Z[x]") > plaintext_bits
+
+    # Shape 2: the F_p representation grows linearly in n — the per-node cost
+    # is constant, so the ratio to plaintext stays roughly (p-1) log p / log p.
+    fp_ratio_small = measured(small, "F_") / measured(small, "plaintext")
+    fp_ratio_large = measured(large, "F_") / measured(large, "plaintext")
+    assert 0.5 < fp_ratio_small / fp_ratio_large < 2.0
+
+    # Shape 3: the Z[x]/(r) representation grows super-linearly (coefficients
+    # carry ~n log p bits each), so its cost relative to F_p increases with n.
+    z_over_fp_small = measured(small, "Z[x]") / measured(small, "F_")
+    z_over_fp_large = measured(large, "Z[x]") / measured(large, "F_")
+    assert z_over_fp_large > z_over_fp_small
+
+    # Shape 4: the F_p formula predicts the measured value well (same order).
+    fp_row = large["F_{0}[x]/(x^{1}-1)".format(fp_ring.p, fp_ring.p - 1)]
+    assert 0.2 < fp_row.overhead_vs_formula < 5.0
+
+
+def test_fp_storage_is_independent_of_content(benchmark):
+    """Every F_p element occupies the same space — storage depends only on n."""
+    ring = choose_fp_ring(_TAG_COUNT + 1)
+    document = _document(60)
+    mapping = TagMapping.for_tags(document.distinct_tags(), max_value=ring.p - 2)
+    tree = benchmark(encode_document, document, mapping, ring)
+    per_node = ring.element_storage_bits(ring.one)
+    assert tree.storage_bits() == document.size() * per_node
+    expected_formula = document.size() * (ring.p - 1) * math.ceil(math.log2(ring.p))
+    assert tree.storage_bits() == expected_formula

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Beyond the paper's static setting: live updates and keyword search.
+
+Two extensions that a practical deployment of the scheme needs and that the
+paper leaves as future work:
+
+1. **Dynamic updates** — insert, delete and rename elements of the
+   outsourced document by rewriting only the shares on the affected
+   root-to-node path (``repro.core.updates``), plus proactive share
+   refresh under a new client seed.
+2. **Content keyword search** — the §5 sketch: words are hashed (non-
+   invertibly) into evaluation points, per-node content polynomials are
+   shared like the structure polynomials, and the payloads are stored
+   encrypted so confirmed matches can be retrieved
+   (``repro.core.text_index``).
+
+Run with::
+
+    python examples/updates_and_keywords.py
+"""
+
+from repro.algebra import FpQuotientRing
+from repro.analysis import format_table
+from repro.core import (
+    ClientShareGenerator,
+    ContentIndexBuilder,
+    ContentSearchClient,
+    UpdatableTree,
+    choose_fp_ring,
+    outsource_document,
+)
+from repro.prg import DeterministicPRG
+from repro.workloads import CatalogConfig, generate_catalog_document
+from repro.xmltree import parse_element
+
+
+def demonstrate_updates() -> None:
+    document = generate_catalog_document(CatalogConfig(customers=6, products=5))
+    ring = choose_fp_ring(len(document.distinct_tags()) + 4)   # headroom for new tags
+    client, server_tree, _ = outsource_document(document, ring=ring, seed=b"updates")
+    editor = UpdatableTree(client.ring, client.mapping, client.share_generator,
+                           server_tree)
+    print(f"Outsourced catalog: {server_tree.node_count()} nodes\n")
+
+    rows = []
+
+    # Insert a new order under the first customer.
+    customer = client.lookup(server_tree, "customer").matches[0]
+    insert = editor.insert_subtree(customer, parse_element(
+        "<order><date>2026-06-14</date><item><product>SKU-0003</product>"
+        "<quantity>1</quantity></item></order>"))
+    rows.append(["insert order", insert.shares_rewritten,
+                 len(insert.new_node_ids), len(insert.affected_ancestors)])
+
+    # Rename one order to archived_order.
+    order = client.lookup(server_tree, "order").matches[0]
+    rename = editor.rename_node(order, "archived_order")
+    rows.append(["rename order", rename.shares_rewritten, 0,
+                 len(rename.affected_ancestors)])
+
+    # Delete a whole customer subtree.
+    victim = client.lookup(server_tree, "customer").matches[-1]
+    delete = editor.delete_subtree(victim)
+    rows.append(["delete customer", delete.shares_rewritten,
+                 -len(delete.removed_node_ids), len(delete.affected_ancestors)])
+
+    # Proactively refresh every share under a new seed.
+    refresh = editor.refresh_shares(
+        ClientShareGenerator(client.ring, DeterministicPRG(b"rotated-seed")))
+    rows.append(["refresh all shares", refresh.shares_rewritten, 0, 0])
+
+    print(format_table(
+        ["operation", "shares rewritten", "nodes added/removed", "ancestors touched"],
+        rows,
+        title=f"Update costs (document of {server_tree.node_count()} nodes — "
+              "updates touch only the affected path)"))
+
+    # Queries reflect all edits (driven by the refreshed generator).
+    refreshed_client_shares = editor.client_shares
+    from repro.core import QueryEngine, LocalServerAdapter
+
+    engine = QueryEngine(client.ring, client.mapping, refreshed_client_shares,
+                         LocalServerAdapter(server_tree))
+    print("\nAfter the edits:")
+    print("  //archived_order ->", engine.lookup("archived_order").matches)
+    print("  //customer count ->", len(engine.lookup("customer").matches))
+    print()
+
+
+def demonstrate_keyword_search() -> None:
+    document = generate_catalog_document(CatalogConfig(customers=5, products=4))
+    builder = ContentIndexBuilder(FpQuotientRing(257), DeterministicPRG(b"keywords"))
+    generator, content_tree, payload_store = builder.build(document)
+    search = ContentSearchClient(builder, generator, content_tree, payload_store)
+
+    print(f"Content index: {content_tree.node_count()} content polynomials, "
+          f"{len(payload_store)} encrypted payloads "
+          f"({payload_store.storage_bits() // 8} bytes at rest)\n")
+
+    rows = []
+    for word in ("enschede", "main", "sku", "rotterdam"):
+        result = search.search(word)
+        rows.append([word, len(result.candidate_nodes), len(result.confirmed_nodes),
+                     result.false_positives, result.stats.nodes_evaluated])
+    print(format_table(
+        ["keyword", "candidates", "confirmed", "hash collisions filtered",
+         "nodes evaluated"],
+        rows,
+        title="Keyword search over encrypted content (§5 extension)"))
+
+    sample = search.search("enschede")
+    first = sample.confirmed_nodes[0]
+    print(f"\nDecrypted payload of node {first}: {sample.payloads[first]!r}")
+
+
+def main() -> None:
+    demonstrate_updates()
+    demonstrate_keyword_search()
+
+
+if __name__ == "__main__":
+    main()

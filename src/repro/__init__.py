@@ -1,0 +1,59 @@
+"""Reproduction of *Using Secret Sharing for Searching in Encrypted Data*
+(Brinkman, Doumen, Jonker; Secure Data Management workshop at VLDB 2004).
+
+The package provides:
+
+* :mod:`repro.algebra` — finite fields, polynomials and the two encoding
+  rings ``F_p[x]/(x^{p-1}-1)`` and ``Z[x]/(r(x))``;
+* :mod:`repro.xmltree` / :mod:`repro.xpath` — a from-scratch XML substrate
+  and the XPath subset the paper queries with;
+* :mod:`repro.sharing` / :mod:`repro.smc` — additive and Shamir secret
+  sharing plus the §3 secure multi-party voting protocols;
+* :mod:`repro.core` — the paper's scheme: encoding, sharing, the
+  interactive search protocol with dead-branch pruning, verification and
+  advanced XPath strategies;
+* :mod:`repro.net` — an instrumented client/server transport for
+  bandwidth and round-trip measurements;
+* :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis` —
+  comparison systems, document generators and experiment tooling.
+
+Quickstart::
+
+    from repro import outsource_document, parse_document
+
+    document = parse_document("<customers><client><name/></client></customers>")
+    client, server_tree, _ = outsource_document(document, seed=b"demo-seed")
+    outcome = client.lookup(server_tree, "client")
+    print(outcome.matches)
+"""
+
+from .core import (
+    AdvancedStrategy,
+    ClientContext,
+    TagMapping,
+    VerificationMode,
+    choose_fp_ring,
+    choose_int_ring,
+    outsource_document,
+)
+from .xmltree import XmlDocument, XmlElement, parse_document, serialize_document
+from .xpath import evaluate_xpath, parse_xpath
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "outsource_document",
+    "ClientContext",
+    "TagMapping",
+    "VerificationMode",
+    "AdvancedStrategy",
+    "choose_fp_ring",
+    "choose_int_ring",
+    "XmlDocument",
+    "XmlElement",
+    "parse_document",
+    "serialize_document",
+    "parse_xpath",
+    "evaluate_xpath",
+]

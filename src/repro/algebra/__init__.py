@@ -1,0 +1,59 @@
+"""Algebraic substrate: modular arithmetic, fields, polynomials and the
+two encoding rings of the paper (``F_p[x]/(x^{p-1}-1)`` and ``Z[x]/(r(x))``).
+"""
+
+from .fp import PrimeField
+from .fpe import ExtensionField, find_irreducible_polynomial
+from .interpolate import lagrange_evaluate_at, lagrange_interpolate
+from .modint import crt, crt_pair, egcd, modinv, modpow
+from .poly import Polynomial, is_irreducible_mod_p, poly_gcd
+from .primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    next_prime,
+    prime_factors,
+    previous_prime,
+    primes_below,
+    random_prime,
+    smallest_prime_at_least,
+)
+from .quotient import (
+    EncodingRing,
+    FpQuotientRing,
+    IntQuotientRing,
+    default_int_modulus,
+)
+from .rings import CoefficientRing, IntegerRing, ZZ
+
+__all__ = [
+    "CoefficientRing",
+    "IntegerRing",
+    "ZZ",
+    "PrimeField",
+    "ExtensionField",
+    "find_irreducible_polynomial",
+    "Polynomial",
+    "poly_gcd",
+    "is_irreducible_mod_p",
+    "lagrange_interpolate",
+    "lagrange_evaluate_at",
+    "egcd",
+    "modinv",
+    "modpow",
+    "crt",
+    "crt_pair",
+    "is_prime",
+    "next_prime",
+    "previous_prime",
+    "random_prime",
+    "primes_below",
+    "prime_factors",
+    "factorize",
+    "is_prime_power",
+    "smallest_prime_at_least",
+    "EncodingRing",
+    "FpQuotientRing",
+    "IntQuotientRing",
+    "default_int_modulus",
+]

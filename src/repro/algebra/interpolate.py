@@ -1,0 +1,69 @@
+"""Lagrange interpolation over a field.
+
+Used by Shamir secret sharing (:mod:`repro.sharing.shamir`) to reconstruct
+a secret from ``t`` shares, and by the secure multi-party computation
+substrate (:mod:`repro.smc`) to recombine the shared function result
+(§3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from .poly import Polynomial
+from .rings import CoefficientRing
+
+__all__ = ["lagrange_interpolate", "lagrange_evaluate_at"]
+
+
+def _check_points(points: Sequence[Tuple[Any, Any]], field: CoefficientRing) -> None:
+    if not points:
+        raise ValueError("at least one interpolation point is required")
+    if not field.is_field():
+        raise TypeError("Lagrange interpolation requires a field")
+    xs = [field.canonical(x) for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x coordinates")
+
+
+def lagrange_interpolate(points: Sequence[Tuple[Any, Any]],
+                         field: CoefficientRing) -> Polynomial:
+    """The unique polynomial of degree ``< len(points)`` through ``points``."""
+    _check_points(points, field)
+    result = Polynomial.zero(field)
+    for i, (xi, yi) in enumerate(points):
+        xi = field.canonical(xi)
+        numerator = Polynomial.one(field)
+        denominator = field.one
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            xj = field.canonical(xj)
+            numerator = numerator * Polynomial((field.neg(xj), field.one), field)
+            denominator = field.mul(denominator, field.sub(xi, xj))
+        weight = field.mul(field.canonical(yi), field.invert(denominator))
+        result = result + numerator * weight
+    return result
+
+
+def lagrange_evaluate_at(points: Sequence[Tuple[Any, Any]], point: Any,
+                         field: CoefficientRing) -> Any:
+    """Evaluate the interpolating polynomial at ``point`` without building it.
+
+    The common case in secret sharing is ``point == 0`` (the secret is the
+    constant term); evaluating directly avoids constructing the polynomial.
+    """
+    _check_points(points, field)
+    point = field.canonical(point)
+    accumulator = field.zero
+    for i, (xi, yi) in enumerate(points):
+        xi = field.canonical(xi)
+        weight = field.one
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            xj = field.canonical(xj)
+            weight = field.mul(weight, field.sub(point, xj))
+            weight = field.mul(weight, field.invert(field.sub(xi, xj)))
+        accumulator = field.add(accumulator, field.mul(field.canonical(yi), weight))
+    return accumulator

@@ -1,0 +1,34 @@
+"""Experiment tooling: storage accounting (§5), bandwidth measurements,
+leakage auditing and plain-text result tables."""
+
+from .bandwidth import (
+    BandwidthRow,
+    measure_download_all_bandwidth,
+    measure_lookup_bandwidth,
+)
+from .leakage import LeakageReport, audit_server_view, share_value_histogram
+from .storage import (
+    StorageRow,
+    fp_storage_formula_bits,
+    int_storage_formula_bits,
+    plaintext_storage_formula_bits,
+    storage_report,
+)
+from .tables import format_ratio, format_table, rows_from_dicts
+
+__all__ = [
+    "StorageRow",
+    "storage_report",
+    "plaintext_storage_formula_bits",
+    "fp_storage_formula_bits",
+    "int_storage_formula_bits",
+    "BandwidthRow",
+    "measure_lookup_bandwidth",
+    "measure_download_all_bandwidth",
+    "LeakageReport",
+    "audit_server_view",
+    "share_value_histogram",
+    "format_table",
+    "format_ratio",
+    "rows_from_dicts",
+]

@@ -1,0 +1,99 @@
+"""Bandwidth and round-trip measurements over the instrumented channel.
+
+Experiment E10 compares, per query:
+
+* the scheme with full (untrusted) verification,
+* the scheme with the constant-only (trusted server) optimisation the
+  paper describes at the end of §4.3,
+* the scheme without verification traffic,
+* the download-everything baseline.
+
+Everything is measured in actual wire bytes of the message encoding, so
+the comparison is between self-consistent quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..baselines.download_all import DownloadAllClient
+from ..core.query import VerificationMode
+from ..core.scheme import ClientContext
+from ..core.share_tree import ServerShareTree
+from ..net.client import connect_in_process
+from ..prg import DeterministicPRG
+from ..xmltree import XmlDocument
+
+__all__ = ["BandwidthRow", "measure_lookup_bandwidth", "measure_download_all_bandwidth"]
+
+
+class BandwidthRow:
+    """Bytes and round trips of one query execution in one mode."""
+
+    __slots__ = ("mode", "tag", "bytes_to_server", "bytes_to_client", "round_trips",
+                 "matches")
+
+    def __init__(self, mode: str, tag: str, bytes_to_server: int,
+                 bytes_to_client: int, round_trips: int, matches: int) -> None:
+        self.mode = mode
+        self.tag = tag
+        self.bytes_to_server = bytes_to_server
+        self.bytes_to_client = bytes_to_client
+        self.round_trips = round_trips
+        self.matches = matches
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_to_server + self.bytes_to_client
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """Dictionary form for tabular reporting."""
+        return {
+            "mode": self.mode,
+            "tag": self.tag,
+            "bytes_to_server": self.bytes_to_server,
+            "bytes_to_client": self.bytes_to_client,
+            "total_bytes": self.total_bytes,
+            "round_trips": self.round_trips,
+            "matches": self.matches,
+        }
+
+
+def measure_lookup_bandwidth(client: ClientContext, share_tree: ServerShareTree,
+                             tag: str,
+                             modes: Optional[List[VerificationMode]] = None
+                             ) -> List[BandwidthRow]:
+    """Run ``//tag`` once per verification mode over a fresh channel each time."""
+    modes = modes or [VerificationMode.FULL, VerificationMode.CONSTANT_ONLY,
+                      VerificationMode.NONE]
+    rows: List[BandwidthRow] = []
+    for mode in modes:
+        adapter, _, channel = connect_in_process(share_tree)
+        outcome = client.lookup(adapter, tag, verification=mode)
+        stats = channel.stats
+        rows.append(BandwidthRow(
+            mode=f"scheme/{mode.value}",
+            tag=tag,
+            bytes_to_server=stats.bytes_to_server,
+            bytes_to_client=stats.bytes_to_client,
+            round_trips=stats.round_trips,
+            matches=len(outcome.all_answers()),
+        ))
+    return rows
+
+
+def measure_download_all_bandwidth(document: XmlDocument, tag: str,
+                                   seed: bytes = b"download-all") -> BandwidthRow:
+    """The download-everything baseline for the same lookup."""
+    baseline_client = DownloadAllClient(DeterministicPRG(seed))
+    server = baseline_client.outsource(document)
+    result = baseline_client.lookup(server, tag)
+    return BandwidthRow(
+        mode="baseline/download-all",
+        tag=tag,
+        bytes_to_server=result.stats.bytes_to_server,
+        bytes_to_client=result.stats.bytes_to_client,
+        round_trips=result.stats.round_trips,
+        matches=len(result.matches),
+    )

@@ -1,0 +1,56 @@
+"""Small text-table helpers used by benchmarks, examples and EXPERIMENTS.md.
+
+The benchmark harnesses print the same rows/series the paper reports (or
+implies); a uniform plain-text table keeps that output readable both on a
+terminal and when pasted into the experiment log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_ratio", "rows_from_dicts"]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(_line([str(h) for h in headers]))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(_line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Human-readable ratio such as ``12.3x`` (safe for zero denominators)."""
+    if denominator == 0:
+        return "inf" if numerator else "1.0x"
+    return f"{numerator / denominator:.1f}x"
+
+
+def rows_from_dicts(records: Sequence[Dict[str, Any]],
+                    columns: Sequence[str]) -> List[List[Any]]:
+    """Project a list of dictionaries onto a fixed column order."""
+    return [[record.get(column, "") for column in columns] for record in records]

@@ -1,0 +1,37 @@
+"""Comparison systems: plaintext search, download-everything, SWP-style
+linear scanning and a Goh-style Bloom-filter index."""
+
+from .bloom_index import (
+    BloomFilter,
+    BloomIndexClient,
+    BloomTreeIndex,
+    build_bloom_index,
+)
+from .common import BaselineResult, BaselineStats, element_ids, preorder_index
+from .download_all import (
+    DownloadAllClient,
+    DownloadAllServer,
+    decrypt_blob,
+    encrypt_blob,
+)
+from .linear_scan import LinearScanClient, LinearScanIndex, build_linear_scan
+from .plaintext import PlaintextSearchIndex
+
+__all__ = [
+    "BaselineResult",
+    "BaselineStats",
+    "preorder_index",
+    "element_ids",
+    "PlaintextSearchIndex",
+    "DownloadAllClient",
+    "DownloadAllServer",
+    "encrypt_blob",
+    "decrypt_blob",
+    "LinearScanClient",
+    "LinearScanIndex",
+    "build_linear_scan",
+    "BloomFilter",
+    "BloomIndexClient",
+    "BloomTreeIndex",
+    "build_bloom_index",
+]

@@ -1,0 +1,83 @@
+"""Baseline 2: download everything and search locally.
+
+The introduction of the paper calls this "the most obvious solution ...
+terribly inefficient": encrypt the whole document, store the ciphertext on
+the server, and for *every* query download the full blob, decrypt it on
+the client and run the query locally.  Correct and maximally private, but
+the bandwidth per query equals the document size — the cost the paper's
+scheme is designed to avoid on thin clients and slow links.
+
+Encryption is a simple stream cipher (PRG keystream XOR plaintext) keyed
+by the client's secret; its only role here is to make the server-side blob
+opaque while keeping the byte counts realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..prg import DeterministicPRG
+from ..xmltree import XmlDocument, parse_document, serialize_document
+from ..xpath import LocationPath, evaluate_xpath
+from .common import BaselineResult, BaselineStats, element_ids
+
+__all__ = ["encrypt_blob", "decrypt_blob", "DownloadAllClient", "DownloadAllServer"]
+
+_KEYSTREAM_LABEL = "download-all-keystream"
+
+
+def encrypt_blob(plaintext: bytes, prg: DeterministicPRG) -> bytes:
+    """XOR ``plaintext`` with the PRG keystream."""
+    keystream = prg.stream(_KEYSTREAM_LABEL).read(len(plaintext))
+    return bytes(p ^ k for p, k in zip(plaintext, keystream))
+
+
+def decrypt_blob(ciphertext: bytes, prg: DeterministicPRG) -> bytes:
+    """Inverse of :func:`encrypt_blob` (XOR is an involution)."""
+    return encrypt_blob(ciphertext, prg)
+
+
+class DownloadAllServer:
+    """The server role: it stores one opaque blob and hands it out on request."""
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = bytes(blob)
+
+    def download(self) -> bytes:
+        """Return the full stored blob."""
+        return self.blob
+
+    def storage_bits(self) -> int:
+        """Size of the stored ciphertext in bits."""
+        return len(self.blob) * 8
+
+
+class DownloadAllClient:
+    """The client role: outsources the encrypted document, queries locally."""
+
+    def __init__(self, prg: DeterministicPRG) -> None:
+        self.prg = prg
+
+    # -- outsourcing -----------------------------------------------------------------
+    def outsource(self, document: XmlDocument) -> DownloadAllServer:
+        """Encrypt the serialised document and build the server."""
+        plaintext = serialize_document(document, indent=0).encode("utf-8")
+        return DownloadAllServer(encrypt_blob(plaintext, self.prg))
+
+    # -- querying ---------------------------------------------------------------------
+    def query(self, server: DownloadAllServer,
+              xpath: Union[str, LocationPath]) -> BaselineResult:
+        """Download, decrypt, parse and evaluate the query locally."""
+        stats = BaselineStats()
+        blob = server.download()
+        stats.round_trips = 1
+        stats.bytes_to_server = 16                      # a constant-size request
+        stats.bytes_to_client = len(blob)
+        document = parse_document(decrypt_blob(blob, self.prg).decode("utf-8"))
+        stats.nodes_visited = document.size()
+        matches = evaluate_xpath(document, xpath)
+        return BaselineResult(element_ids(document, matches), stats)
+
+    def lookup(self, server: DownloadAllServer, tag: str) -> BaselineResult:
+        """Element lookup ``//tag``."""
+        return self.query(server, f"//{tag}")

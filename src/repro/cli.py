@@ -1,0 +1,205 @@
+"""Command-line interface to the scheme.
+
+A small operational tool so the library can be driven without writing
+Python: outsource an XML file, inspect what the server would store, run
+queries against a stored server file, and decode results.  The client's
+secrets (seed + mapping) live in a separate JSON file that never needs to
+leave the client machine; the server file contains only what the untrusted
+server is allowed to see.
+
+Usage::
+
+    python -m repro.cli outsource data.xml --server-out server.json \
+        --client-out client.json --seed my-secret
+    python -m repro.cli query server.json client.json "//client/name"
+    python -m repro.cli lookup server.json client.json client --mode none
+    python -m repro.cli inspect server.json
+    python -m repro.cli decode server.json client.json 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .core import (
+    AdvancedStrategy,
+    ClientContext,
+    VerificationMode,
+    choose_fp_ring,
+    choose_int_ring,
+    outsource_document,
+)
+from .errors import ReproError
+from .net import load_share_tree, ring_to_dict, save_share_tree
+from .xmltree import parse_document
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Searchable secret-shared XML outsourcing "
+                    "(Brinkman/Doumen/Jonker, SDM 2004 reproduction)")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    outsource = commands.add_parser(
+        "outsource", help="encode, split and store an XML document")
+    outsource.add_argument("xml_file", help="path to the plaintext XML document")
+    outsource.add_argument("--server-out", required=True,
+                           help="where to write the server's share tree (JSON)")
+    outsource.add_argument("--client-out", required=True,
+                           help="where to write the client's secret state (JSON)")
+    outsource.add_argument("--seed", default=None,
+                           help="client seed (hex or passphrase); random if omitted")
+    outsource.add_argument("--ring", choices=["fp", "int"], default="fp",
+                           help="encoding ring: F_p[x]/(x^(p-1)-1) or Z[x]/(x^2+1)")
+    outsource.add_argument("--allow-p-minus-one", action="store_true",
+                           help="allow mapping values equal to p-1 (paper's example)")
+
+    lookup = commands.add_parser("lookup", help="run the element lookup //tag")
+    lookup.add_argument("server_file")
+    lookup.add_argument("client_file")
+    lookup.add_argument("tag")
+    lookup.add_argument("--mode", choices=[m.value for m in VerificationMode],
+                        default=VerificationMode.FULL.value,
+                        help="verification mode (default: full)")
+
+    query = commands.add_parser("query", help="run an XPath-subset query")
+    query.add_argument("server_file")
+    query.add_argument("client_file")
+    query.add_argument("xpath")
+    query.add_argument("--strategy", choices=[s.value for s in AdvancedStrategy],
+                       default=AdvancedStrategy.SINGLE_PASS.value)
+
+    inspect = commands.add_parser(
+        "inspect", help="show what the (untrusted) server stores")
+    inspect.add_argument("server_file")
+
+    decode = commands.add_parser(
+        "decode", help="recover the tag path of a node id from the shares")
+    decode.add_argument("server_file")
+    decode.add_argument("client_file")
+    decode.add_argument("node_id", type=int)
+    return parser
+
+
+def _load_client(path: str, server_tree) -> ClientContext:
+    with open(path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    if state.get("ring") != ring_to_dict(server_tree.ring):
+        raise ReproError("the client state was created for a different ring "
+                         "than the server file")
+    return ClientContext.from_secret_state(server_tree.ring, state["secrets"])
+
+
+def _seed_bytes(seed: Optional[str]):
+    if seed is None:
+        return None
+    try:
+        return bytes.fromhex(seed)
+    except ValueError:
+        return seed.encode("utf-8")
+
+
+def _cmd_outsource(args: argparse.Namespace) -> int:
+    with open(args.xml_file, "r", encoding="utf-8") as handle:
+        document = parse_document(handle.read())
+    strict = not args.allow_p_minus_one
+    ring = (choose_fp_ring(document, strict=strict) if args.ring == "fp"
+            else choose_int_ring(2))
+    client, server_tree, _ = outsource_document(
+        document, ring=ring, seed=_seed_bytes(args.seed), strict=strict)
+
+    size = save_share_tree(server_tree, args.server_out)
+    with open(args.client_out, "w", encoding="utf-8") as handle:
+        json.dump({"ring": ring_to_dict(ring), "secrets": client.secret_state()},
+                  handle, indent=2)
+
+    print(f"outsourced {document.size()} elements "
+          f"({len(document.distinct_tags())} distinct tags) in ring {ring.name}")
+    print(f"server share tree: {args.server_out} ({size} bytes)")
+    print(f"client secret state: {args.client_out} (keep this private)")
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    server_tree = load_share_tree(args.server_file)
+    client = _load_client(args.client_file, server_tree)
+    outcome = client.lookup(server_tree, args.tag,
+                            verification=VerificationMode(args.mode))
+    print(f"//{args.tag}: {len(outcome.matches)} match(es)")
+    for node_id in outcome.matches:
+        print(f"  node {node_id}: {client.tag_path_of(server_tree, node_id)}")
+    if outcome.unverified_candidates:
+        print(f"  unverified candidates: {outcome.unverified_candidates}")
+    stats = outcome.stats
+    print(f"  evaluated {stats.nodes_evaluated}/{server_tree.node_count()} nodes, "
+          f"pruned {stats.nodes_pruned}, {stats.round_trips} round trips")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    server_tree = load_share_tree(args.server_file)
+    client = _load_client(args.client_file, server_tree)
+    result = client.xpath(server_tree, args.xpath,
+                          strategy=AdvancedStrategy(args.strategy))
+    print(f"{args.xpath}: {len(result.matches)} match(es)")
+    for node_id in result.matches:
+        print(f"  node {node_id}: {client.tag_path_of(server_tree, node_id)}")
+    print(f"  evaluations: {result.stats.evaluations}, "
+          f"round trips: {result.stats.round_trips}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    server_tree = load_share_tree(args.server_file)
+    print(f"ring:        {server_tree.ring.name}")
+    print(f"nodes:       {server_tree.node_count()}")
+    print(f"storage:     {server_tree.storage_bits()} bits "
+          f"({server_tree.storage_bits() // 8} bytes of share polynomials)")
+    depths = [server_tree.depth_of(node_id) for node_id in server_tree.node_ids()]
+    print(f"tree height: {max(depths) if depths else 0}")
+    print("note: the server sees structure and share polynomials only; "
+          "tag names, the mapping and the seed never appear in this file")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    server_tree = load_share_tree(args.server_file)
+    client = _load_client(args.client_file, server_tree)
+    print(client.tag_path_of(server_tree, args.node_id))
+    return 0
+
+
+_HANDLERS = {
+    "outsource": _cmd_outsource,
+    "lookup": _cmd_lookup,
+    "query": _cmd_query,
+    "inspect": _cmd_inspect,
+    "decode": _cmd_decode,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":       # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

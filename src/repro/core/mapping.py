@@ -1,0 +1,173 @@
+"""The private tag-name mapping function ``map : tagnames → Z`` (§4.1).
+
+The mapping is the client's secret: the server only ever sees polynomials
+built from mapped values and query points, never tag names.  Figure 1(b)
+of the paper shows the example mapping ``client → 2, customers → 3,
+name → 4`` that this library reproduces in
+:mod:`repro.workloads.figure1`.
+
+Constraints
+-----------
+* Values must be distinct (the mapping must be invertible, Theorem 1/2).
+* For the ``F_p[x]/(x^{p-1}-1)`` ring the paper asks to avoid the value
+  ``p - 1`` "in order to avoid zero divisors" (after Lemma 3).  The
+  paper's own worked example maps ``name → 4 = p - 1`` for ``p = 5``, so
+  strict enforcement is optional (``strict=True`` enables it); the
+  EXPERIMENTS log discusses the discrepancy.
+* Value ``0`` is always rejected: a factor ``x`` would make the encoding
+  of a node indistinguishable from a missing tag at the query point 0.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import MappingCapacityError, MappingError, UnknownTagError
+
+__all__ = ["TagMapping"]
+
+
+class TagMapping:
+    """An invertible private mapping from tag names to integers."""
+
+    def __init__(self, assignments: Optional[Mapping[str, int]] = None,
+                 max_value: Optional[int] = None,
+                 strict: bool = False) -> None:
+        """Create a mapping.
+
+        ``max_value`` is the largest assignable value (for the ``F_p`` ring
+        this should be ``p - 2`` in strict mode or ``p - 1`` otherwise);
+        ``None`` means unbounded, which suits the ``Z[x]/(r(x))`` ring.
+        """
+        self.max_value = max_value
+        self.strict = strict
+        self._forward: Dict[str, int] = {}
+        self._backward: Dict[int, str] = {}
+        if assignments:
+            for tag, value in assignments.items():
+                self.assign(tag, value)
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def for_tags(cls, tags: Iterable[str], max_value: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 strict: bool = False) -> "TagMapping":
+        """Assign values to ``tags``.
+
+        With an ``rng`` the values are a random permutation of the available
+        range (the recommended, least-leaky choice); without one the tags
+        are numbered 1, 2, 3, ... in sorted order (deterministic, handy for
+        tests and for reproducing the paper's figures).
+        """
+        tag_list = sorted(set(tags))
+        mapping = cls(max_value=max_value, strict=strict)
+        capacity = mapping.capacity()
+        if capacity is not None and len(tag_list) > capacity:
+            raise MappingCapacityError(
+                f"{len(tag_list)} tags do not fit into {capacity} available values; "
+                "choose a larger prime p or a larger ring")
+        if rng is None:
+            values: Sequence[int] = range(1, len(tag_list) + 1)
+        else:
+            upper = capacity if capacity is not None else max(len(tag_list) * 4, 16)
+            values = rng.sample(range(1, upper + 1), len(tag_list))
+        for tag, value in zip(tag_list, values):
+            mapping.assign(tag, value)
+        return mapping
+
+    def assign(self, tag: str, value: int) -> None:
+        """Assign ``value`` to ``tag``, enforcing the invertibility constraints."""
+        if not tag:
+            raise MappingError("tag names must be non-empty")
+        value = int(value)
+        if value <= 0:
+            raise MappingError(f"mapping values must be positive, got {value} for {tag!r}")
+        if self.max_value is not None and value > self.max_value:
+            raise MappingError(
+                f"mapping value {value} for {tag!r} exceeds the maximum {self.max_value}"
+                + (" (p-2 in strict mode avoids the zero-divisor value p-1)"
+                   if self.strict else ""))
+        if tag in self._forward and self._forward[tag] != value:
+            raise MappingError(f"{tag!r} is already mapped to {self._forward[tag]}")
+        if value in self._backward and self._backward[value] != tag:
+            raise MappingError(
+                f"value {value} is already used by {self._backward[value]!r}; "
+                "the mapping must stay invertible")
+        self._forward[tag] = value
+        self._backward[value] = tag
+
+    def extend(self, tags: Iterable[str]) -> None:
+        """Assign values to any tags not yet present (smallest free values)."""
+        for tag in sorted(set(tags)):
+            if tag in self._forward:
+                continue
+            value = 1
+            while value in self._backward or (
+                    self.max_value is not None and value > self.max_value):
+                if self.max_value is not None and value > self.max_value:
+                    raise MappingCapacityError(
+                        "no free mapping values left; choose a larger ring")
+                value += 1
+            if self.max_value is not None and value > self.max_value:
+                raise MappingCapacityError("no free mapping values left")
+            self.assign(tag, value)
+
+    # -- lookups -----------------------------------------------------------------------
+    def value(self, tag: str) -> int:
+        """Mapped value of ``tag``; raises :class:`UnknownTagError` if absent."""
+        try:
+            return self._forward[tag]
+        except KeyError:
+            raise UnknownTagError(tag) from None
+
+    def tag(self, value: int) -> str:
+        """Inverse lookup; raises :class:`UnknownTagError` if absent."""
+        try:
+            return self._backward[int(value)]
+        except KeyError:
+            raise UnknownTagError(value) from None
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._forward
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def tags(self) -> List[str]:
+        """All mapped tag names, sorted."""
+        return sorted(self._forward)
+
+    def values(self) -> List[int]:
+        """All mapped values, sorted."""
+        return sorted(self._backward)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A copy of the forward mapping."""
+        return dict(self._forward)
+
+    def capacity(self) -> Optional[int]:
+        """Number of assignable values, or ``None`` when unbounded."""
+        if self.max_value is None:
+            return None
+        return self.max_value if not self.strict else self.max_value
+
+    # -- persistence ----------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the mapping (it is part of the client's secret state)."""
+        return json.dumps({
+            "max_value": self.max_value,
+            "strict": self.strict,
+            "assignments": self._forward,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TagMapping":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        return cls(assignments=data["assignments"], max_value=data["max_value"],
+                   strict=data["strict"])
+
+    def __repr__(self) -> str:
+        return f"TagMapping({self._forward!r})"

@@ -1,0 +1,463 @@
+"""The interactive search protocol over shared polynomial trees (§4.3).
+
+The client and the server evaluate a query together:
+
+1. the client maps the queried tag name to its secret point ``x = map(tag)``
+   and sends the point to the server;
+2. the server evaluates *its* share polynomial of every live node at the
+   point and returns the values;
+3. the client evaluates its own (regenerated) shares, adds the two values
+   per node, and interprets the sum: zero means the subtree contains the
+   tag, non-zero marks a dead branch which the client tells the server to
+   prune;
+4. zero nodes that have no zero child are definite answers; other zero
+   nodes are *candidates* that the client confirms by reconstructing the
+   node's tag value from the node polynomial and its children
+   (Theorem 1/2, eq. (1)–(3)) — this is also how an untrusted server's
+   answers are verified.
+
+The module is network-agnostic: the client-side engine talks to a
+:class:`ServerInterface`.  :class:`LocalServerAdapter` runs the server
+in-process (used by tests and the plain API), while
+:class:`repro.net.client.RemoteServerAdapter` sends the same requests over
+an instrumented channel to measure bandwidth and round trips.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing, FpQuotientRing
+from ..errors import QueryError, TagRecoveryError, VerificationError
+from .mapping import TagMapping
+from .share_tree import ClientShareGenerator, ServerShareTree
+
+__all__ = [
+    "VerificationMode",
+    "QueryStats",
+    "ServerInterface",
+    "LocalServerAdapter",
+    "LookupOutcome",
+    "QueryEngine",
+]
+
+
+class VerificationMode(enum.Enum):
+    """How much the client checks the server's answers (§4.3, last paragraph)."""
+
+    #: Untrusted server: fetch full share polynomials of every candidate and
+    #: its children, solve for the tag value and check all coefficient
+    #: equations.  Results are exact and verified.
+    FULL = "full"
+
+    #: Trusted server: only constant coefficients are transmitted and only the
+    #: constant-term equation is checked.  Cheaper in bandwidth, weaker in
+    #: assurance (candidates whose check is inconclusive are accepted).
+    CONSTANT_ONLY = "constant-only"
+
+    #: No verification traffic at all: structural evidence only.  In the
+    #: ``F_p`` ring deepest-zero nodes are still exact; other zero nodes are
+    #: reported as unverified candidates.
+    NONE = "none"
+
+
+class QueryStats:
+    """Work and communication accounting for one query execution."""
+
+    __slots__ = ("nodes_evaluated", "evaluations", "nodes_pruned", "round_trips",
+                 "candidates_verified", "polynomials_fetched", "constants_fetched",
+                 "points_sent")
+
+    def __init__(self) -> None:
+        self.nodes_evaluated = 0       # distinct nodes whose share was evaluated
+        self.evaluations = 0           # (node, point) evaluation pairs
+        self.nodes_pruned = 0          # nodes reported as dead branches
+        self.round_trips = 0           # request/response exchanges with the server
+        self.candidates_verified = 0   # candidate nodes run through verification
+        self.polynomials_fetched = 0   # full share polynomials transferred
+        self.constants_fetched = 0     # constant coefficients transferred
+        self.points_sent = 0           # query points revealed to the server
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another stats record into this one (returns self)."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Dictionary form for tabular reporting."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)}" for name in self.__slots__)
+        return f"QueryStats({fields})"
+
+
+class ServerInterface(abc.ABC):
+    """The requests a client may send to the (untrusted) search server."""
+
+    @abc.abstractmethod
+    def root_id(self) -> int:
+        """Identifier of the root node."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Total number of nodes stored (public)."""
+
+    @abc.abstractmethod
+    def children_of(self, node_ids: Sequence[int]) -> Dict[int, List[int]]:
+        """Public child lists for a batch of nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Server-share evaluations at ``point`` for a batch of nodes."""
+
+    @abc.abstractmethod
+    def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
+        """Full server-share polynomials (used by FULL verification)."""
+
+    @abc.abstractmethod
+    def fetch_constants(self, node_ids: Sequence[int]) -> Dict[int, int]:
+        """Constant coefficients of server shares (CONSTANT_ONLY verification)."""
+
+    @abc.abstractmethod
+    def prune(self, node_ids: Sequence[int]) -> None:
+        """Inform the server that these subtrees are dead for the current query."""
+
+
+class LocalServerAdapter(ServerInterface):
+    """Runs the server role in-process against a :class:`ServerShareTree`.
+
+    Also keeps the server-visible trace (queried points, pruned nodes) so the
+    leakage analysis (:mod:`repro.analysis.leakage`) can audit exactly what an
+    honest-but-curious server observes.
+    """
+
+    def __init__(self, share_tree: ServerShareTree) -> None:
+        self.share_tree = share_tree
+        self.observed_points: List[int] = []
+        self.observed_prunes: List[int] = []
+        self.evaluation_requests = 0
+
+    def root_id(self) -> int:
+        if self.share_tree.root_id is None:
+            raise QueryError("the server share tree is empty")
+        return self.share_tree.root_id
+
+    def node_count(self) -> int:
+        return self.share_tree.node_count()
+
+    def children_of(self, node_ids: Sequence[int]) -> Dict[int, List[int]]:
+        return {node_id: self.share_tree.child_ids(node_id) for node_id in node_ids}
+
+    def evaluate(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        self.observed_points.append(point)
+        self.evaluation_requests += len(node_ids)
+        return {node_id: self.share_tree.evaluate(node_id, point)
+                for node_id in node_ids}
+
+    def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
+        return {node_id: self.share_tree.share_of(node_id) for node_id in node_ids}
+
+    def fetch_constants(self, node_ids: Sequence[int]) -> Dict[int, int]:
+        return {node_id: self.share_tree.share_of(node_id).constant_term
+                for node_id in node_ids}
+
+    def prune(self, node_ids: Sequence[int]) -> None:
+        self.observed_prunes.extend(node_ids)
+
+
+class LookupOutcome:
+    """Result of one element lookup ``//tag``."""
+
+    __slots__ = ("tag", "point", "matches", "unverified_candidates", "zero_nodes",
+                 "pruned_nodes", "stats")
+
+    def __init__(self, tag: str, point: int) -> None:
+        self.tag = tag
+        self.point = point
+        #: Node ids confirmed to carry the queried tag.
+        self.matches: List[int] = []
+        #: Zero-sum nodes that could not be confirmed (only in relaxed modes).
+        self.unverified_candidates: List[int] = []
+        #: Every node whose sum evaluated to zero (subtree contains the tag).
+        self.zero_nodes: List[int] = []
+        #: Nodes reported to the server as dead branches.
+        self.pruned_nodes: List[int] = []
+        self.stats = QueryStats()
+
+    def all_answers(self) -> List[int]:
+        """Matches plus unverified candidates (what a trusting client would use)."""
+        return sorted(set(self.matches) | set(self.unverified_candidates))
+
+    def __repr__(self) -> str:
+        return (f"LookupOutcome(tag={self.tag!r}, matches={self.matches}, "
+                f"candidates={self.unverified_candidates})")
+
+
+class QueryEngine:
+    """Client-side query engine implementing the §4.3 protocol."""
+
+    def __init__(self, ring: EncodingRing, mapping: TagMapping,
+                 client_shares: ClientShareGenerator, server: ServerInterface,
+                 verification: VerificationMode = VerificationMode.FULL) -> None:
+        self.ring = ring
+        self.mapping = mapping
+        self.client_shares = client_shares
+        self.server = server
+        self.verification = verification
+        # Cache of the public structure discovered so far (children lists).
+        self._children_cache: Dict[int, List[int]] = {}
+
+    # -- public entry points ----------------------------------------------------------
+    def lookup(self, tag: str) -> LookupOutcome:
+        """Evaluate the element lookup ``//tag`` (§4.3 "Element Lookup")."""
+        point = self.mapping.value(tag)
+        outcome = LookupOutcome(tag, point)
+        stats = outcome.stats
+        stats.points_sent += 1
+
+        zero_nodes, pruned, evaluations = self._descend([point], stats)
+        outcome.zero_nodes = sorted(zero_nodes)
+        outcome.pruned_nodes = sorted(pruned)
+
+        self._classify_candidates(outcome, point, evaluations, stats)
+        return outcome
+
+    def containment_frontier(self, tags: Sequence[str],
+                             start_nodes: Optional[Sequence[int]] = None,
+                             stats: Optional[QueryStats] = None) -> Tuple[Set[int], QueryStats]:
+        """Nodes (from ``start_nodes`` downwards) whose subtree contains *all* ``tags``.
+
+        This is the primitive behind the paper's advanced querying: a single
+        descent prunes on every queried tag at once.
+        """
+        stats = stats if stats is not None else QueryStats()
+        points = [self.mapping.value(tag) for tag in tags]
+        stats.points_sent += len(set(points))
+        zero_nodes, _, _ = self._descend(points, stats, start_nodes=start_nodes)
+        return zero_nodes, stats
+
+    def filter_containing(self, node_ids: Sequence[int], tags: Sequence[str],
+                          stats: QueryStats) -> List[int]:
+        """Subset of ``node_ids`` whose subtree contains *all* ``tags``.
+
+        A single evaluation round per tag, no descent — used by the advanced
+        query executor for child-axis steps.
+        """
+        alive = list(node_ids)
+        for tag in tags:
+            if not alive:
+                break
+            point = self.mapping.value(tag)
+            stats.points_sent += 1
+            sums = self._sum_evaluations(alive, point, stats)
+            alive = [node_id for node_id in alive
+                     if self.ring.evaluation_is_zero(sums[node_id], point)]
+        stats.nodes_evaluated += len(set(node_ids))
+        return alive
+
+    def confirm_tag_nodes(self, node_ids: Sequence[int], tag: str,
+                          stats: QueryStats) -> List[int]:
+        """Which of ``node_ids`` actually carry ``tag`` (not just a descendant).
+
+        Uses full Theorem-1/2 reconstruction, i.e. the untrusted-server
+        verification path; the advanced query strategies rely on it to anchor
+        each location step.
+        """
+        if not node_ids:
+            return []
+        point = self.mapping.value(tag)
+        confirmed, _ = self._verify_full(sorted(set(node_ids)), point, stats)
+        return confirmed
+
+    def children_of(self, node_ids: Sequence[int], stats: QueryStats) -> Dict[int, List[int]]:
+        """Public child lists (cached; counts a round trip on cache misses)."""
+        return self._children(node_ids, stats)
+
+    # -- protocol internals --------------------------------------------------------------
+    def _children(self, node_ids: Sequence[int], stats: QueryStats) -> Dict[int, List[int]]:
+        missing = [node_id for node_id in node_ids if node_id not in self._children_cache]
+        if missing:
+            fetched = self.server.children_of(missing)
+            self._children_cache.update(fetched)
+            stats.round_trips += 1
+        return {node_id: self._children_cache[node_id] for node_id in node_ids}
+
+    def _sum_evaluations(self, node_ids: Sequence[int], point: int,
+                         stats: QueryStats) -> Dict[int, int]:
+        """Server round trip + local share evaluation + per-node sums."""
+        if not node_ids:
+            return {}
+        server_values = self.server.evaluate(node_ids, point)
+        stats.round_trips += 1
+        stats.evaluations += len(node_ids)
+        sums: Dict[int, int] = {}
+        for node_id in node_ids:
+            client_value = self.client_shares.evaluate(node_id, point)
+            sums[node_id] = self.ring.evaluation_add(
+                client_value, server_values[node_id], point)
+        return sums
+
+    def _descend(self, points: Sequence[int], stats: QueryStats,
+                 start_nodes: Optional[Sequence[int]] = None
+                 ) -> Tuple[Set[int], Set[int], Dict[Tuple[int, int], int]]:
+        """Breadth-first descent pruning on *all* ``points`` simultaneously.
+
+        Returns ``(zero_nodes, pruned_nodes, evaluations)`` where
+        ``evaluations[(node_id, point)]`` is the summed evaluation value and
+        ``zero_nodes`` are the nodes whose sums are zero at *every* point.
+        """
+        frontier: List[int] = (list(start_nodes) if start_nodes is not None
+                               else [self.server.root_id()])
+        zero_nodes: Set[int] = set()
+        pruned: Set[int] = set()
+        evaluations: Dict[Tuple[int, int], int] = {}
+        touched: Set[int] = set()
+
+        while frontier:
+            touched.update(frontier)
+            alive: List[int] = list(frontier)
+            # Evaluate at every query point; a node stays alive only if it is
+            # zero for all points (its subtree contains every queried tag).
+            for point in points:
+                if not alive:
+                    break
+                sums = self._sum_evaluations(alive, point, stats)
+                still_alive = []
+                for node_id in alive:
+                    evaluations[(node_id, point)] = sums[node_id]
+                    if self.ring.evaluation_is_zero(sums[node_id], point):
+                        still_alive.append(node_id)
+                alive = still_alive
+            dead = [node_id for node_id in frontier if node_id not in alive]
+            if dead:
+                self.server.prune(dead)
+                pruned.update(dead)
+                stats.nodes_pruned += len(dead)
+            zero_nodes.update(alive)
+            if not alive:
+                break
+            children_map = self._children(alive, stats)
+            frontier = [child for node_id in alive for child in children_map[node_id]]
+        stats.nodes_evaluated += len(touched)
+        return zero_nodes, pruned, evaluations
+
+    # -- candidate classification & verification -----------------------------------------------
+    def _classify_candidates(self, outcome: LookupOutcome, point: int,
+                             evaluations: Dict[Tuple[int, int], int],
+                             stats: QueryStats) -> None:
+        zero_set = set(outcome.zero_nodes)
+        children_map = self._children(sorted(zero_set), stats) if zero_set else {}
+
+        definite: List[int] = []
+        ambiguous: List[int] = []
+        exact_evaluation = isinstance(self.ring, FpQuotientRing)
+        for node_id in sorted(zero_set):
+            child_zero = any(child in zero_set for child in children_map.get(node_id, []))
+            if not child_zero and exact_evaluation:
+                # Deepest zero node in F_p: the zero cannot come from below, so
+                # the node itself carries the tag (paper: "a definite answer").
+                definite.append(node_id)
+            else:
+                ambiguous.append(node_id)
+
+        if self.verification is VerificationMode.NONE:
+            outcome.matches = definite
+            outcome.unverified_candidates = ambiguous
+            return
+
+        if self.verification is VerificationMode.FULL:
+            confirmed, rejected = self._verify_full(ambiguous + (
+                [] if exact_evaluation else definite), point, stats)
+            if exact_evaluation:
+                outcome.matches = sorted(set(definite) | set(confirmed))
+            else:
+                outcome.matches = sorted(confirmed)
+            outcome.unverified_candidates = []
+            return
+
+        # CONSTANT_ONLY: cheap check; inconclusive nodes stay candidates.
+        confirmed, inconclusive = self._verify_constant_only(ambiguous, point, stats)
+        outcome.matches = sorted(set(definite) | set(confirmed))
+        outcome.unverified_candidates = sorted(inconclusive)
+
+    def _reconstruct_polynomials(self, node_ids: Sequence[int],
+                                 stats: QueryStats) -> Dict[int, Polynomial]:
+        """Fetch server shares and add the client shares (full polynomials)."""
+        if not node_ids:
+            return {}
+        server_shares = self.server.fetch_polynomials(node_ids)
+        stats.round_trips += 1
+        stats.polynomials_fetched += len(node_ids)
+        full: Dict[int, Polynomial] = {}
+        for node_id in node_ids:
+            full[node_id] = self.ring.add(
+                self.client_shares.share_for(node_id), server_shares[node_id])
+        return full
+
+    def _verify_full(self, candidates: Sequence[int], point: int,
+                     stats: QueryStats) -> Tuple[List[int], List[int]]:
+        """Exact verification: recover each candidate's tag value (eq. (1)–(3))."""
+        confirmed: List[int] = []
+        rejected: List[int] = []
+        if not candidates:
+            return confirmed, rejected
+        children_map = self._children(list(candidates), stats)
+        needed = sorted(set(candidates) | {
+            child for node_id in candidates for child in children_map[node_id]})
+        polynomials = self._reconstruct_polynomials(needed, stats)
+        for node_id in candidates:
+            stats.candidates_verified += 1
+            node_poly = polynomials[node_id]
+            child_polys = [polynomials[c] for c in children_map[node_id]]
+            try:
+                value = self.ring.recover_tag(node_poly, child_polys)
+            except TagRecoveryError as exc:
+                raise VerificationError(
+                    f"node {node_id}: the server's polynomials are inconsistent "
+                    "with the encoding invariant") from exc
+            (confirmed if value == point else rejected).append(node_id)
+        return confirmed, rejected
+
+    def _verify_constant_only(self, candidates: Sequence[int], point: int,
+                              stats: QueryStats) -> Tuple[List[int], List[int]]:
+        """Cheap check using only constant coefficients (trusted-server mode).
+
+        The constant-coefficient equation ``f_0 = (-t)·∏ (q_i)_0`` holds
+        exactly whenever the product ``(x-t)·∏ q_i`` does not wrap around the
+        ring modulus (small subtrees).  When it fails the node is reported as
+        an *unverified candidate* — the trusted server is believed, but the
+        reduced assurance is made visible to the caller.
+        """
+        confirmed: List[int] = []
+        inconclusive: List[int] = []
+        if not candidates:
+            return confirmed, inconclusive
+        children_map = self._children(list(candidates), stats)
+        needed = sorted(set(candidates) | {
+            child for node_id in candidates for child in children_map[node_id]})
+        server_constants = self.server.fetch_constants(needed)
+        stats.round_trips += 1
+        stats.constants_fetched += len(needed)
+        ring = self.ring.coefficient_ring
+        for node_id in candidates:
+            stats.candidates_verified += 1
+            node_constant = ring.add(
+                self.client_shares.share_for(node_id).constant_term,
+                server_constants[node_id])
+            product = ring.one
+            for child in children_map[node_id]:
+                child_constant = ring.add(
+                    self.client_shares.share_for(child).constant_term,
+                    server_constants[child])
+                product = ring.mul(product, child_constant)
+            expected = ring.mul(ring.neg(ring.coerce(point)), product)
+            if ring.eq(node_constant, expected):
+                confirmed.append(node_id)
+            else:
+                inconclusive.append(node_id)
+        return confirmed, inconclusive

@@ -1,0 +1,81 @@
+"""Recovering tag names from a polynomial tree (Theorems 1 and 2).
+
+No information about the original tag names is lost by the encoding: given
+the polynomial ``f`` of an element node and the polynomials ``q_1..q_n``
+of its children, the mapped value ``t`` is the unique solution of
+``f ≡ (x - t)·∏ q_i`` in the encoding ring.  This module walks a whole
+:class:`~repro.core.encoder.PolynomialTree`, recovers every node's tag
+value and rebuilds the original :class:`~repro.xmltree.XmlDocument` —
+proving the scheme is lossless, and providing the verification primitive
+the client uses against an untrusted server (§4.3, eq. (1)–(3)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing
+from ..errors import TagRecoveryError, VerificationError
+from ..xmltree import XmlDocument, XmlElement
+from .encoder import PolynomialTree
+from .mapping import TagMapping
+
+__all__ = [
+    "recover_tag_value",
+    "recover_all_tag_values",
+    "decode_tree",
+    "verify_node_claim",
+]
+
+
+def recover_tag_value(tree: PolynomialTree, node_id: int) -> int:
+    """Recover the mapped tag value of one node (Theorem 1 / Theorem 2)."""
+    node = tree.node(node_id)
+    children = [child.polynomial for child in tree.children(node_id)]
+    return tree.ring.recover_tag(node.polynomial, children)
+
+
+def recover_all_tag_values(tree: PolynomialTree) -> Dict[int, int]:
+    """Recover every node's mapped value, keyed by node id."""
+    return {node.node_id: recover_tag_value(tree, node.node_id) for node in tree}
+
+
+def decode_tree(tree: PolynomialTree, mapping: TagMapping) -> XmlDocument:
+    """Rebuild the original document structure and tag names from the encoding.
+
+    Attribute and text content is not part of the encoding (§5), so the
+    reconstructed document carries tags and structure only.
+    """
+    values = recover_all_tag_values(tree)
+    elements: Dict[int, XmlElement] = {}
+    root_element: Optional[XmlElement] = None
+    for node in tree.iter_preorder():
+        element = XmlElement(mapping.tag(values[node.node_id]))
+        elements[node.node_id] = element
+        if node.parent_id is None:
+            root_element = element
+        else:
+            elements[node.parent_id].add_child(element)
+    if root_element is None:
+        raise TagRecoveryError("the polynomial tree is empty")
+    return XmlDocument(root_element)
+
+
+def verify_node_claim(ring: EncodingRing, node_polynomial: Polynomial,
+                      child_polynomials: List[Polynomial],
+                      claimed_value: int) -> bool:
+    """Check a server's claim that a node carries the tag mapped to ``claimed_value``.
+
+    This is the client-side verification of §4.3: with the full polynomials
+    in hand, *all* coefficient equations of eq. (3) are checked, so a
+    malicious server cannot make the client accept a wrong tag value
+    (uniqueness is Theorem 1/2).
+    """
+    try:
+        recovered = ring.recover_tag(node_polynomial, child_polynomials)
+    except TagRecoveryError as exc:
+        raise VerificationError(
+            "the node polynomial is inconsistent with its children; "
+            "the server's data cannot be trusted") from exc
+    return recovered == claimed_value

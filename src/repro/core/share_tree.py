@@ -1,0 +1,163 @@
+"""Splitting the polynomial tree into client and server shares (§4.2).
+
+The client builds a tree with the same structure as the encoded document
+but with *random* polynomials, and hands the server the difference tree:
+``server_share = polynomial - client_share`` per node, so the two shares
+sum to the original polynomial (figures 3 and 4).
+
+Because the client polynomials come from a seeded deterministic PRG
+(:class:`repro.prg.DeterministicPRG`), the client does not need to store
+its tree at all — it keeps the seed and regenerates the share of any node
+on demand ("only the seed has to be stored on the client").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing
+from ..errors import SharingError
+from ..prg import DeterministicPRG
+from ..sharing.additive import combine_additive
+from .encoder import PolynomialTree
+
+__all__ = ["ClientShareGenerator", "ServerShareTree", "share_tree", "reconstruct_tree"]
+
+_SHARE_LABEL = "node-share"
+
+
+class ClientShareGenerator:
+    """Regenerates the client's random share for any node from the seed."""
+
+    def __init__(self, ring: EncodingRing, prg: DeterministicPRG) -> None:
+        self.ring = ring
+        self.prg = prg
+
+    def share_for(self, node_id: int) -> Polynomial:
+        """The client's share polynomial for ``node_id`` (deterministic)."""
+        rng = self.prg.python_random(_SHARE_LABEL, node_id)
+        return self.ring.random_element(rng)
+
+    def evaluate(self, node_id: int, point: int) -> int:
+        """Evaluate the client's share of ``node_id`` at a query point."""
+        return self.ring.evaluate(self.share_for(node_id), point)
+
+    def shares_for(self, node_ids: Iterable[int]) -> Dict[int, Polynomial]:
+        """Client shares for several nodes at once."""
+        return {node_id: self.share_for(node_id) for node_id in node_ids}
+
+
+class ServerShareTree:
+    """The server's half of the shared data: public structure + share polynomials.
+
+    This is everything the untrusted server stores.  It intentionally has no
+    reference to the tag mapping, the client seed or the original document.
+    """
+
+    def __init__(self, ring: EncodingRing) -> None:
+        self.ring = ring
+        self.shares: Dict[int, Polynomial] = {}
+        self.parents: Dict[int, Optional[int]] = {}
+        self.children: Dict[int, List[int]] = {}
+        self.root_id: Optional[int] = None
+
+    # -- construction -----------------------------------------------------------
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        """Insert one node's share; parents must precede children."""
+        if node_id in self.shares:
+            raise SharingError(f"duplicate node id {node_id}")
+        if parent_id is None:
+            if self.root_id is not None:
+                raise SharingError("the share tree already has a root")
+            self.root_id = node_id
+        elif parent_id not in self.shares:
+            raise SharingError(f"parent {parent_id} of node {node_id} is unknown")
+        self.shares[node_id] = self.ring.reduce(share)
+        self.parents[node_id] = parent_id
+        self.children.setdefault(node_id, [])
+        if parent_id is not None:
+            self.children[parent_id].append(node_id)
+
+    # -- queries the server can answer --------------------------------------------
+    def share_of(self, node_id: int) -> Polynomial:
+        """The stored share polynomial of a node."""
+        try:
+            return self.shares[node_id]
+        except KeyError:
+            raise SharingError(f"unknown node id {node_id}") from None
+
+    def evaluate(self, node_id: int, point: int) -> int:
+        """Evaluate the server's share of a node at a query point (§4.3)."""
+        return self.ring.evaluate(self.share_of(node_id), point)
+
+    def child_ids(self, node_id: int) -> List[int]:
+        """Public child list of a node."""
+        if node_id not in self.children:
+            raise SharingError(f"unknown node id {node_id}")
+        return list(self.children[node_id])
+
+    def parent_id(self, node_id: int) -> Optional[int]:
+        """Public parent of a node."""
+        if node_id not in self.parents:
+            raise SharingError(f"unknown node id {node_id}")
+        return self.parents[node_id]
+
+    def node_ids(self) -> List[int]:
+        """All node identifiers."""
+        return sorted(self.shares)
+
+    def node_count(self) -> int:
+        """Number of nodes stored."""
+        return len(self.shares)
+
+    def depth_of(self, node_id: int) -> int:
+        """Depth computed from the public structure."""
+        depth = 0
+        current = self.parents.get(node_id)
+        while current is not None:
+            depth += 1
+            current = self.parents.get(current)
+        return depth
+
+    def storage_bits(self) -> int:
+        """Measured storage of all share polynomials (the server-side cost, §5)."""
+        return sum(self.ring.element_storage_bits(share)
+                   for share in self.shares.values())
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+    def __repr__(self) -> str:
+        return f"<ServerShareTree ring={self.ring.name} nodes={len(self.shares)}>"
+
+
+def share_tree(tree: PolynomialTree,
+               prg: DeterministicPRG) -> Tuple[ClientShareGenerator, ServerShareTree]:
+    """Split an encoded tree into the client generator and the server tree."""
+    generator = ClientShareGenerator(tree.ring, prg)
+    server = ServerShareTree(tree.ring)
+    for node in tree.iter_preorder():
+        client_share = generator.share_for(node.node_id)
+        server_share = tree.ring.sub(node.polynomial, client_share)
+        server.add_node(node.node_id, node.parent_id, server_share)
+    return generator, server
+
+
+def reconstruct_tree(client: ClientShareGenerator,
+                     server: ServerShareTree) -> PolynomialTree:
+    """Recombine both halves into the original polynomial tree.
+
+    Only the client can do this (it owns the seed); used in tests and by the
+    verification path of the query protocol.
+    """
+    if client.ring != server.ring and client.ring.name != server.ring.name:
+        raise SharingError("client and server use different rings")
+    tree = PolynomialTree(server.ring)
+    for node_id in server.node_ids():
+        combined = combine_additive(
+            server.ring, [client.share_for(node_id), server.share_of(node_id)])
+        tree.add_node(node_id, server.parent_id(node_id), combined,
+                      server.depth_of(node_id))
+    return tree

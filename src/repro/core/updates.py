@@ -1,0 +1,235 @@
+"""Dynamic updates to an outsourced document.
+
+The paper describes a static outsourcing step; a practical deployment also
+needs to *modify* the data without re-uploading everything.  Because every
+ancestor polynomial is the product of its own linear factor with its
+children's polynomials (§4.1), an insertion, deletion or rename below a
+node only changes the polynomials on the root-to-node path:
+
+* **insert** a new subtree under parent ``P``: every ancestor polynomial is
+  multiplied by the new subtree's polynomial;
+* **delete** a subtree / **rename** a node: the affected ancestors are
+  recomputed bottom-up as ``(x − map(tag)) · ∏ children`` — their own tag
+  value is recovered first via Theorem 1/2, so nothing about the document
+  needs to be stored on the client.
+
+Division is deliberately avoided: the ``F_p[x]/(x^{p−1}−1)`` quotient ring
+has zero divisors, so "dividing out" a removed factor from a *reduced*
+polynomial is not well defined; recomputing a node from its children is
+always exact and costs one ring product per affected node.
+
+The client can do all of this from the public structure plus the server's
+shares (it owns the seed, so it can reconstruct any polynomial it needs),
+then pushes fresh server shares for exactly the affected nodes.  An update
+therefore touches ``O(depth · fanout + |new subtree|)`` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing
+from ..errors import QueryError
+from ..xmltree import XmlElement
+from .mapping import TagMapping
+from .share_tree import ClientShareGenerator, ServerShareTree
+
+__all__ = ["UpdateReport", "UpdatableTree"]
+
+
+class UpdateReport:
+    """What an update touched (for cost accounting and tests)."""
+
+    __slots__ = ("operation", "affected_ancestors", "new_node_ids",
+                 "removed_node_ids", "shares_rewritten")
+
+    def __init__(self, operation: str) -> None:
+        self.operation = operation
+        self.affected_ancestors: List[int] = []
+        self.new_node_ids: List[int] = []
+        self.removed_node_ids: List[int] = []
+        self.shares_rewritten = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary form for tabular reporting."""
+        return {
+            "operation": self.operation,
+            "affected_ancestors": len(self.affected_ancestors),
+            "new_nodes": len(self.new_node_ids),
+            "removed_nodes": len(self.removed_node_ids),
+            "shares_rewritten": self.shares_rewritten,
+        }
+
+    def __repr__(self) -> str:
+        return (f"UpdateReport({self.operation!r}, ancestors={self.affected_ancestors}, "
+                f"new={self.new_node_ids}, removed={self.removed_node_ids})")
+
+
+class UpdatableTree:
+    """Client-side editor for an outsourced share tree.
+
+    The editor needs the client's secret state (mapping + share generator)
+    and access to the server share tree it mutates.  In a deployment the
+    mutations would travel as explicit update messages; the cost model
+    (which nodes receive new shares) is identical, and that is what the
+    report captures.
+    """
+
+    def __init__(self, ring: EncodingRing, mapping: TagMapping,
+                 client_shares: ClientShareGenerator,
+                 server_tree: ServerShareTree) -> None:
+        self.ring = ring
+        self.mapping = mapping
+        self.client_shares = client_shares
+        self.server_tree = server_tree
+
+    # -- share plumbing -------------------------------------------------------------
+    def _node_polynomial(self, node_id: int) -> Polynomial:
+        """Reconstruct the true polynomial of a node (client + server share)."""
+        return self.ring.add(self.client_shares.share_for(node_id),
+                             self.server_tree.share_of(node_id))
+
+    def _write_polynomial(self, node_id: int, polynomial: Polynomial,
+                          report: UpdateReport) -> None:
+        """Store a new value for a node by rewriting its *server* share."""
+        client_share = self.client_shares.share_for(node_id)
+        self.server_tree.shares[node_id] = self.ring.sub(polynomial, client_share)
+        report.shares_rewritten += 1
+
+    def _ancestor_path(self, node_id: int) -> List[int]:
+        """Ancestors of ``node_id`` from its parent up to the root."""
+        path: List[int] = []
+        current = self.server_tree.parent_id(node_id)
+        while current is not None:
+            path.append(current)
+            current = self.server_tree.parent_id(current)
+        return path
+
+    def _own_tag_value(self, node_id: int) -> int:
+        """Recover a node's mapped tag value from the shares (Theorem 1/2)."""
+        children = [self._node_polynomial(child)
+                    for child in self.server_tree.child_ids(node_id)]
+        return self.ring.recover_tag(self._node_polynomial(node_id), children)
+
+    def _recompute_from_children(self, node_id: int, own_value: int,
+                                 report: UpdateReport) -> None:
+        """Set ``node_id`` to ``(x − own_value) · ∏ current children``."""
+        polynomial = self.ring.from_tag_value(own_value)
+        for child in self.server_tree.child_ids(node_id):
+            polynomial = self.ring.mul(polynomial, self._node_polynomial(child))
+        self._write_polynomial(node_id, polynomial, report)
+
+    def _next_node_id(self) -> int:
+        return max(self.server_tree.node_ids()) + 1
+
+    def _subtree_polynomial(self, element: XmlElement) -> Polynomial:
+        """Encode a plaintext subtree bottom-up (used for insertions)."""
+        polynomial = self.ring.from_tag_value(self.mapping.value(element.tag))
+        for child in element.children:
+            polynomial = self.ring.mul(polynomial, self._subtree_polynomial(child))
+        return polynomial
+
+    # -- public operations ------------------------------------------------------------
+    def insert_subtree(self, parent_id: int, element: XmlElement) -> UpdateReport:
+        """Insert a plaintext subtree as a new child of ``parent_id``."""
+        if parent_id not in self.server_tree.shares:
+            raise QueryError(f"unknown parent node {parent_id}")
+        self.mapping.extend(node.tag for node in element.iter())
+        report = UpdateReport("insert")
+
+        # 1. Encode and store the new nodes under fresh identifiers.
+        subtree_polynomial = self._subtree_polynomial(element)
+
+        def _store(node: XmlElement, parent: int) -> None:
+            node_id = self._next_node_id()
+            polynomial = self._subtree_polynomial(node)
+            client_share = self.client_shares.share_for(node_id)
+            self.server_tree.add_node(node_id, parent,
+                                      self.ring.sub(polynomial, client_share))
+            report.new_node_ids.append(node_id)
+            report.shares_rewritten += 1
+            for child in node.children:
+                _store(child, node_id)
+
+        _store(element, parent_id)
+
+        # 2. Multiply every ancestor polynomial (parent included) by the new
+        #    subtree polynomial and push fresh server shares.
+        ancestors = [parent_id] + self._ancestor_path(parent_id)
+        for ancestor in ancestors:
+            updated = self.ring.mul(self._node_polynomial(ancestor), subtree_polynomial)
+            self._write_polynomial(ancestor, updated, report)
+        report.affected_ancestors = ancestors
+        return report
+
+    def delete_subtree(self, node_id: int) -> UpdateReport:
+        """Delete the subtree rooted at ``node_id`` (the root cannot be deleted)."""
+        if node_id not in self.server_tree.shares:
+            raise QueryError(f"unknown node {node_id}")
+        parent_id = self.server_tree.parent_id(node_id)
+        if parent_id is None:
+            raise QueryError("the document root cannot be deleted")
+        report = UpdateReport("delete")
+
+        # 1. Recover the tag value of every affected ancestor before touching
+        #    anything (the values are invariant, the polynomials are not).
+        ancestors = [parent_id] + self._ancestor_path(parent_id)
+        own_values = {ancestor: self._own_tag_value(ancestor) for ancestor in ancestors}
+
+        # 2. Remove the subtree nodes from the server structure.
+        removed = self._collect_subtree(node_id)
+        for node in removed:
+            del self.server_tree.shares[node]
+            del self.server_tree.parents[node]
+            self.server_tree.children.pop(node, None)
+        self.server_tree.children[parent_id].remove(node_id)
+        report.removed_node_ids = removed
+
+        # 3. Recompute the path bottom-up from the (already consistent) children.
+        for ancestor in ancestors:
+            self._recompute_from_children(ancestor, own_values[ancestor], report)
+        report.affected_ancestors = ancestors
+        return report
+
+    def rename_node(self, node_id: int, new_tag: str) -> UpdateReport:
+        """Change the tag of a single node (structure unchanged)."""
+        if node_id not in self.server_tree.shares:
+            raise QueryError(f"unknown node {node_id}")
+        self.mapping.extend([new_tag])
+        report = UpdateReport("rename")
+
+        affected = [node_id] + self._ancestor_path(node_id)
+        own_values = {node: self._own_tag_value(node) for node in affected}
+        own_values[node_id] = self.mapping.value(new_tag)
+
+        for node in affected:
+            self._recompute_from_children(node, own_values[node], report)
+        report.affected_ancestors = affected
+        return report
+
+    def refresh_shares(self, new_generator: ClientShareGenerator) -> UpdateReport:
+        """Proactively re-randomise every share under a new client seed.
+
+        The data does not change: for every node the server share becomes
+        ``polynomial − new_client_share``.  After the refresh the old seed is
+        useless, which limits the damage of a leaked seed.
+        """
+        report = UpdateReport("refresh")
+        for node_id in self.server_tree.node_ids():
+            polynomial = self._node_polynomial(node_id)
+            self.server_tree.shares[node_id] = self.ring.sub(
+                polynomial, new_generator.share_for(node_id))
+            report.shares_rewritten += 1
+        self.client_shares = new_generator
+        return report
+
+    # -- internals ----------------------------------------------------------------------
+    def _collect_subtree(self, node_id: int) -> List[int]:
+        result: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self.server_tree.child_ids(current))
+        return result

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-classes mirror the main
+subsystems: algebra, encoding/mapping, sharing, the query protocol and the
+XML substrate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AlgebraError",
+    "RingMismatchError",
+    "MappingError",
+    "MappingCapacityError",
+    "UnknownTagError",
+    "EncodingError",
+    "TagRecoveryError",
+    "VerificationError",
+    "SharingError",
+    "ThresholdError",
+    "ProtocolError",
+    "QueryError",
+    "XmlParseError",
+    "XPathSyntaxError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class AlgebraError(ReproError):
+    """Errors from the algebraic substrate (rings, fields, polynomials)."""
+
+
+class RingMismatchError(AlgebraError):
+    """Two elements from incompatible rings were combined."""
+
+
+class MappingError(ReproError):
+    """Errors related to the private tag-name mapping function."""
+
+
+class MappingCapacityError(MappingError):
+    """The ring is too small for the number of distinct tag names."""
+
+
+class UnknownTagError(MappingError, KeyError):
+    """A tag name was queried that has no assigned mapping value."""
+
+
+class EncodingError(ReproError):
+    """Errors while encoding an XML tree into a polynomial tree."""
+
+
+class TagRecoveryError(EncodingError):
+    """Theorem 1/2 reconstruction failed (inconsistent polynomials)."""
+
+
+class VerificationError(ReproError):
+    """The client could not verify a server-provided answer."""
+
+
+class SharingError(ReproError):
+    """Errors in the secret-sharing layer."""
+
+
+class ThresholdError(SharingError):
+    """Not enough shares to reconstruct a secret, or invalid threshold."""
+
+
+class ProtocolError(ReproError):
+    """Client/server protocol violations (unexpected or malformed messages)."""
+
+
+class QueryError(ReproError):
+    """Errors while planning or executing a query."""
+
+
+class XmlParseError(ReproError):
+    """The from-scratch XML parser rejected its input."""
+
+
+class XPathSyntaxError(QueryError):
+    """The XPath-subset parser rejected a query string."""

@@ -1,0 +1,35 @@
+"""Instrumented client/server transport: protocol messages, byte-counting
+channel, the untrusted search server and its client-side proxy."""
+
+from .channel import ChannelStats, InstrumentedChannel, LatencyModel
+from .client import RemoteServerAdapter, connect_in_process
+from .messages import Message, decode_message
+from .server import SearchServer, ServerObservations
+from .storage import (
+    InMemoryServerStore,
+    load_share_tree,
+    ring_from_dict,
+    ring_to_dict,
+    save_share_tree,
+    share_tree_from_dict,
+    share_tree_to_dict,
+)
+
+__all__ = [
+    "Message",
+    "decode_message",
+    "ChannelStats",
+    "LatencyModel",
+    "InstrumentedChannel",
+    "SearchServer",
+    "ServerObservations",
+    "RemoteServerAdapter",
+    "connect_in_process",
+    "InMemoryServerStore",
+    "ring_to_dict",
+    "ring_from_dict",
+    "share_tree_to_dict",
+    "share_tree_from_dict",
+    "save_share_tree",
+    "load_share_tree",
+]

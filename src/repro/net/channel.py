@@ -1,0 +1,129 @@
+"""An instrumented request/response channel between client and server.
+
+The paper's protocol is strictly synchronous (the client sends a request,
+the server answers), so the channel models exactly that and records:
+
+* bytes sent client→server and server→client,
+* number of request/response exchanges (round trips),
+* a full transcript of message kinds (for the leakage audit).
+
+The "network" is in-process — what matters for the reproduction are the
+counted costs, not sockets.  A latency model can be attached to translate
+round trips and bytes into simulated wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from .messages import Message, decode_message
+
+__all__ = ["ChannelStats", "LatencyModel", "InstrumentedChannel"]
+
+
+class ChannelStats:
+    """Byte and message accounting for one channel."""
+
+    __slots__ = ("bytes_to_server", "bytes_to_client", "requests", "responses")
+
+    def __init__(self) -> None:
+        self.bytes_to_server = 0
+        self.bytes_to_client = 0
+        self.requests = 0
+        self.responses = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in both directions."""
+        return self.bytes_to_server + self.bytes_to_client
+
+    @property
+    def round_trips(self) -> int:
+        """Completed request/response exchanges."""
+        return self.responses
+
+    def as_dict(self) -> Dict[str, int]:
+        """Dictionary form for tabular reporting."""
+        return {
+            "bytes_to_server": self.bytes_to_server,
+            "bytes_to_client": self.bytes_to_client,
+            "total_bytes": self.total_bytes,
+            "round_trips": self.round_trips,
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bytes_to_server = 0
+        self.bytes_to_client = 0
+        self.requests = 0
+        self.responses = 0
+
+    def __repr__(self) -> str:
+        return (f"ChannelStats(to_server={self.bytes_to_server}B, "
+                f"to_client={self.bytes_to_client}B, round_trips={self.round_trips})")
+
+
+class LatencyModel:
+    """Translate counted traffic into simulated time.
+
+    ``latency_s`` is the one-way network latency; ``bandwidth_bytes_per_s``
+    the link throughput.  A round trip therefore costs
+    ``2*latency + bytes/bandwidth`` seconds of simulated time.
+    """
+
+    def __init__(self, latency_s: float = 0.01,
+                 bandwidth_bytes_per_s: float = 125_000.0) -> None:
+        if latency_s < 0 or bandwidth_bytes_per_s <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        self.latency_s = latency_s
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+
+    def simulated_seconds(self, stats: ChannelStats) -> float:
+        """Simulated transfer time for the traffic recorded in ``stats``."""
+        transfer = stats.total_bytes / self.bandwidth_bytes_per_s
+        return 2 * self.latency_s * stats.round_trips + transfer
+
+
+class InstrumentedChannel:
+    """Synchronous request/response channel with byte-level accounting.
+
+    The server side is a handler callable ``Message -> Message``; requests
+    are serialised, counted, decoded on the "server side", handled, and the
+    response travels back the same way.  Serialising on both hops keeps the
+    accounting honest: what is counted is exactly what crosses the link.
+    """
+
+    def __init__(self, handler: Callable[[Message], Message],
+                 latency_model: Optional[LatencyModel] = None) -> None:
+        self.handler = handler
+        self.stats = ChannelStats()
+        self.latency_model = latency_model
+        #: Sequence of (request_kind, response_kind) pairs (the server's view).
+        self.transcript: List[Tuple[str, str]] = []
+
+    def request(self, message: Message) -> Message:
+        """Send ``message`` to the server and return the decoded response."""
+        encoded = message.encode()
+        self.stats.bytes_to_server += len(encoded)
+        self.stats.requests += 1
+        server_view = decode_message(encoded)
+        response = self.handler(server_view)
+        if not isinstance(response, Message):
+            raise ProtocolError("the server handler must return a Message")
+        encoded_response = response.encode()
+        self.stats.bytes_to_client += len(encoded_response)
+        self.stats.responses += 1
+        self.transcript.append((server_view.kind, response.kind))
+        return decode_message(encoded_response)
+
+    def simulated_seconds(self) -> float:
+        """Simulated time of the recorded traffic (0.0 without a latency model)."""
+        if self.latency_model is None:
+            return 0.0
+        return self.latency_model.simulated_seconds(self.stats)
+
+    def reset(self) -> None:
+        """Clear counters and transcript (e.g. between benchmark iterations)."""
+        self.stats.reset()
+        self.transcript.clear()

@@ -1,0 +1,112 @@
+"""Client-side network stub: a :class:`ServerInterface` over a channel.
+
+:class:`RemoteServerAdapter` turns the abstract requests of the query
+engine into protocol messages, sends them through an
+:class:`~repro.net.channel.InstrumentedChannel` and decodes the answers —
+so every query run through it yields exact byte/round-trip measurements
+(experiments E10/E13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..algebra.poly import Polynomial
+from ..core.query import ServerInterface
+from ..core.share_tree import ServerShareTree
+from ..errors import ProtocolError
+from .channel import InstrumentedChannel, LatencyModel
+from .messages import (
+    BlobRequest,
+    BlobResponse,
+    ChildrenRequest,
+    ChildrenResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    FetchConstantsRequest,
+    FetchConstantsResponse,
+    FetchPolynomialsRequest,
+    FetchPolynomialsResponse,
+    PruneNotice,
+    StructureRequest,
+    StructureResponse,
+)
+from .server import SearchServer
+
+__all__ = ["RemoteServerAdapter", "connect_in_process"]
+
+
+class RemoteServerAdapter(ServerInterface):
+    """A server proxy that speaks the wire protocol over a channel."""
+
+    def __init__(self, channel: InstrumentedChannel, ring) -> None:
+        self.channel = channel
+        self.ring = ring
+        self._structure: Optional[StructureResponse] = None
+
+    # -- helpers -----------------------------------------------------------------
+    def _structure_summary(self) -> StructureResponse:
+        if self._structure is None:
+            response = self.channel.request(StructureRequest())
+            if not isinstance(response, StructureResponse):
+                raise ProtocolError(f"unexpected response {response.kind!r}")
+            self._structure = response
+        return self._structure
+
+    # -- ServerInterface -----------------------------------------------------------
+    def root_id(self) -> int:
+        return self._structure_summary().root_id
+
+    def node_count(self) -> int:
+        return self._structure_summary().node_count
+
+    def children_of(self, node_ids: Sequence[int]) -> Dict[int, List[int]]:
+        response = self.channel.request(ChildrenRequest(node_ids))
+        if not isinstance(response, ChildrenResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response.children
+
+    def evaluate(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        response = self.channel.request(EvaluateRequest(node_ids, point))
+        if not isinstance(response, EvaluateResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response.values
+
+    def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
+        response = self.channel.request(FetchPolynomialsRequest(node_ids))
+        if not isinstance(response, FetchPolynomialsResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return {node_id: self.ring.from_coefficients(coeffs)
+                for node_id, coeffs in response.coefficients.items()}
+
+    def fetch_constants(self, node_ids: Sequence[int]) -> Dict[int, int]:
+        response = self.channel.request(FetchConstantsRequest(node_ids))
+        if not isinstance(response, FetchConstantsResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response.constants
+
+    def prune(self, node_ids: Sequence[int]) -> None:
+        self.channel.request(PruneNotice(node_ids))
+
+    # -- extras used by baselines -------------------------------------------------------
+    def download_blob(self) -> bytes:
+        """Fetch the server's whole encrypted blob (download-all baseline)."""
+        response = self.channel.request(BlobRequest())
+        if not isinstance(response, BlobResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response.blob
+
+
+def connect_in_process(share_tree: ServerShareTree,
+                       encrypted_blob: Optional[bytes] = None,
+                       latency_model: Optional[LatencyModel] = None
+                       ) -> tuple:
+    """Wire a server and a remote adapter through an instrumented channel.
+
+    Returns ``(adapter, server, channel)``; the adapter plugs straight into
+    :class:`repro.core.query.QueryEngine` / :class:`repro.core.ClientContext`.
+    """
+    server = SearchServer(share_tree, encrypted_blob=encrypted_blob)
+    channel = InstrumentedChannel(server.handle, latency_model=latency_model)
+    adapter = RemoteServerAdapter(channel, share_tree.ring)
+    return adapter, server, channel

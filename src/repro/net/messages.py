@@ -1,0 +1,261 @@
+"""Protocol messages exchanged between the thin client and the server.
+
+The paper motivates its design with thin clients and low-bandwidth links,
+so the reproduction measures communication explicitly.  Every request and
+response is a small message object with a deterministic serialisation
+(:meth:`Message.encode`) whose byte length is what the instrumented
+channel (:mod:`repro.net.channel`) accounts for.
+
+The wire format is a compact JSON document; it is *not* meant to be an
+optimised binary protocol, only a consistent yardstick so that the
+bandwidth comparisons between modes and baselines are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "Message",
+    "StructureRequest",
+    "StructureResponse",
+    "ChildrenRequest",
+    "ChildrenResponse",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "FetchPolynomialsRequest",
+    "FetchPolynomialsResponse",
+    "FetchConstantsRequest",
+    "FetchConstantsResponse",
+    "PruneNotice",
+    "Acknowledgement",
+    "BlobRequest",
+    "BlobResponse",
+    "decode_message",
+]
+
+
+class Message:
+    """Base class of all protocol messages."""
+
+    #: Short type tag used on the wire; subclasses override it.
+    kind = "message"
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-serialisable body of the message."""
+        return {}
+
+    def encode(self) -> bytes:
+        """Deterministic wire encoding."""
+        body = {"kind": self.kind}
+        body.update(self.payload())
+        return json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    def byte_size(self) -> int:
+        """Number of bytes this message occupies on the wire."""
+        return len(self.encode())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.payload()!r}>"
+
+
+class StructureRequest(Message):
+    """Ask for the public summary of the stored tree (root id, node count)."""
+
+    kind = "structure"
+
+
+class StructureResponse(Message):
+    """Summary of the stored tree."""
+
+    kind = "structure-ok"
+
+    def __init__(self, root_id: int, node_count: int) -> None:
+        self.root_id = root_id
+        self.node_count = node_count
+
+    def payload(self) -> Dict[str, Any]:
+        return {"root_id": self.root_id, "node_count": self.node_count}
+
+
+class ChildrenRequest(Message):
+    """Ask for the child lists of a batch of nodes (public structure)."""
+
+    kind = "children"
+
+    def __init__(self, node_ids: Sequence[int]) -> None:
+        self.node_ids = list(node_ids)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"node_ids": self.node_ids}
+
+
+class ChildrenResponse(Message):
+    """Child lists keyed by node id."""
+
+    kind = "children-ok"
+
+    def __init__(self, children: Dict[int, List[int]]) -> None:
+        self.children = {int(k): list(v) for k, v in children.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"children": {str(k): v for k, v in self.children.items()}}
+
+
+class EvaluateRequest(Message):
+    """Ask the server to evaluate its shares of ``node_ids`` at ``point`` (§4.3)."""
+
+    kind = "evaluate"
+
+    def __init__(self, node_ids: Sequence[int], point: int) -> None:
+        self.node_ids = list(node_ids)
+        self.point = int(point)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"node_ids": self.node_ids, "point": self.point}
+
+
+class EvaluateResponse(Message):
+    """Per-node evaluation values of the server's shares."""
+
+    kind = "evaluate-ok"
+
+    def __init__(self, values: Dict[int, int]) -> None:
+        self.values = {int(k): int(v) for k, v in values.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"values": {str(k): v for k, v in self.values.items()}}
+
+
+class FetchPolynomialsRequest(Message):
+    """Ask for the full share polynomials of a batch of nodes (verification)."""
+
+    kind = "fetch-polynomials"
+
+    def __init__(self, node_ids: Sequence[int]) -> None:
+        self.node_ids = list(node_ids)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"node_ids": self.node_ids}
+
+
+class FetchPolynomialsResponse(Message):
+    """Coefficient vectors of the requested share polynomials."""
+
+    kind = "fetch-polynomials-ok"
+
+    def __init__(self, coefficients: Dict[int, List[int]]) -> None:
+        self.coefficients = {int(k): [int(c) for c in v]
+                             for k, v in coefficients.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"coefficients": {str(k): v for k, v in self.coefficients.items()}}
+
+
+class FetchConstantsRequest(Message):
+    """Ask only for constant coefficients (trusted-server mode, §4.3)."""
+
+    kind = "fetch-constants"
+
+    def __init__(self, node_ids: Sequence[int]) -> None:
+        self.node_ids = list(node_ids)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"node_ids": self.node_ids}
+
+
+class FetchConstantsResponse(Message):
+    """Constant coefficients keyed by node id."""
+
+    kind = "fetch-constants-ok"
+
+    def __init__(self, constants: Dict[int, int]) -> None:
+        self.constants = {int(k): int(v) for k, v in constants.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"constants": {str(k): v for k, v in self.constants.items()}}
+
+
+class PruneNotice(Message):
+    """Tell the server that these subtrees are dead branches for this query."""
+
+    kind = "prune"
+
+    def __init__(self, node_ids: Sequence[int]) -> None:
+        self.node_ids = list(node_ids)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"node_ids": self.node_ids}
+
+
+class Acknowledgement(Message):
+    """Empty positive reply."""
+
+    kind = "ack"
+
+
+class BlobRequest(Message):
+    """Download-everything baseline: ask for the whole encrypted blob."""
+
+    kind = "blob"
+
+
+class BlobResponse(Message):
+    """The whole encrypted blob (hex-encoded on the wire)."""
+
+    kind = "blob-ok"
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = bytes(blob)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"blob": self.blob.hex()}
+
+
+_MESSAGE_TYPES = {
+    cls.kind: cls for cls in (
+        StructureRequest, StructureResponse, ChildrenRequest, ChildrenResponse,
+        EvaluateRequest, EvaluateResponse, FetchPolynomialsRequest,
+        FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
+        PruneNotice, Acknowledgement, BlobRequest, BlobResponse,
+    )
+}
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a wire encoding back into a message object."""
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    kind = body.pop("kind", None)
+    cls = _MESSAGE_TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    if cls is StructureResponse:
+        return StructureResponse(body["root_id"], body["node_count"])
+    if cls is ChildrenRequest:
+        return ChildrenRequest(body["node_ids"])
+    if cls is ChildrenResponse:
+        return ChildrenResponse({int(k): v for k, v in body["children"].items()})
+    if cls is EvaluateRequest:
+        return EvaluateRequest(body["node_ids"], body["point"])
+    if cls is EvaluateResponse:
+        return EvaluateResponse({int(k): v for k, v in body["values"].items()})
+    if cls is FetchPolynomialsRequest:
+        return FetchPolynomialsRequest(body["node_ids"])
+    if cls is FetchPolynomialsResponse:
+        return FetchPolynomialsResponse(
+            {int(k): v for k, v in body["coefficients"].items()})
+    if cls is FetchConstantsRequest:
+        return FetchConstantsRequest(body["node_ids"])
+    if cls is FetchConstantsResponse:
+        return FetchConstantsResponse({int(k): v for k, v in body["constants"].items()})
+    if cls is PruneNotice:
+        return PruneNotice(body["node_ids"])
+    if cls is BlobResponse:
+        return BlobResponse(bytes.fromhex(body["blob"]))
+    return cls()

@@ -1,0 +1,143 @@
+"""The untrusted search server.
+
+The server stores one :class:`~repro.core.share_tree.ServerShareTree` (its
+half of the shared polynomial tree plus the public structure) and answers
+the protocol requests of :mod:`repro.net.messages`.  It never sees tag
+names, the mapping function, the client seed or full polynomials — only
+its own shares, the query points and the prune notices, which is exactly
+the view analysed by :mod:`repro.analysis.leakage`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.share_tree import ServerShareTree
+from ..errors import ProtocolError
+from .messages import (
+    Acknowledgement,
+    BlobRequest,
+    BlobResponse,
+    ChildrenRequest,
+    ChildrenResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    FetchConstantsRequest,
+    FetchConstantsResponse,
+    FetchPolynomialsRequest,
+    FetchPolynomialsResponse,
+    Message,
+    PruneNotice,
+    StructureRequest,
+    StructureResponse,
+)
+
+__all__ = ["ServerObservations", "SearchServer"]
+
+
+class ServerObservations:
+    """Everything an honest-but-curious server learns while answering queries."""
+
+    __slots__ = ("points_seen", "pruned_nodes", "evaluated_nodes",
+                 "polynomials_served", "constants_served", "requests_handled")
+
+    def __init__(self) -> None:
+        self.points_seen: List[int] = []
+        self.pruned_nodes: List[int] = []
+        self.evaluated_nodes: List[int] = []
+        self.polynomials_served: List[int] = []
+        self.constants_served: List[int] = []
+        self.requests_handled = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counted summary for reports."""
+        return {
+            "distinct_points_seen": len(set(self.points_seen)),
+            "evaluation_requests": len(self.evaluated_nodes),
+            "pruned_nodes": len(self.pruned_nodes),
+            "polynomials_served": len(self.polynomials_served),
+            "constants_served": len(self.constants_served),
+            "requests_handled": self.requests_handled,
+        }
+
+
+class SearchServer:
+    """Message handler implementing the server role of the §4.3 protocol."""
+
+    def __init__(self, share_tree: ServerShareTree,
+                 encrypted_blob: Optional[bytes] = None) -> None:
+        self.share_tree = share_tree
+        #: Optional opaque blob served to download-everything clients
+        #: (used by the baseline comparison; not part of the paper's scheme).
+        self.encrypted_blob = encrypted_blob
+        self.observations = ServerObservations()
+
+    # -- message dispatch ----------------------------------------------------------
+    def handle(self, message: Message) -> Message:
+        """Answer one request message."""
+        self.observations.requests_handled += 1
+        if isinstance(message, StructureRequest):
+            return self._handle_structure()
+        if isinstance(message, ChildrenRequest):
+            return self._handle_children(message)
+        if isinstance(message, EvaluateRequest):
+            return self._handle_evaluate(message)
+        if isinstance(message, FetchPolynomialsRequest):
+            return self._handle_fetch_polynomials(message)
+        if isinstance(message, FetchConstantsRequest):
+            return self._handle_fetch_constants(message)
+        if isinstance(message, PruneNotice):
+            return self._handle_prune(message)
+        if isinstance(message, BlobRequest):
+            return self._handle_blob()
+        raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
+
+    __call__ = handle
+
+    # -- handlers --------------------------------------------------------------------
+    def _handle_structure(self) -> StructureResponse:
+        if self.share_tree.root_id is None:
+            raise ProtocolError("the server has no stored data")
+        return StructureResponse(self.share_tree.root_id, self.share_tree.node_count())
+
+    def _handle_children(self, message: ChildrenRequest) -> ChildrenResponse:
+        return ChildrenResponse({node_id: self.share_tree.child_ids(node_id)
+                                 for node_id in message.node_ids})
+
+    def _handle_evaluate(self, message: EvaluateRequest) -> EvaluateResponse:
+        self.observations.points_seen.append(message.point)
+        self.observations.evaluated_nodes.extend(message.node_ids)
+        return EvaluateResponse({
+            node_id: self.share_tree.evaluate(node_id, message.point)
+            for node_id in message.node_ids})
+
+    def _handle_fetch_polynomials(self, message: FetchPolynomialsRequest
+                                  ) -> FetchPolynomialsResponse:
+        self.observations.polynomials_served.extend(message.node_ids)
+        coefficients = {}
+        for node_id in message.node_ids:
+            share = self.share_tree.share_of(node_id)
+            coefficients[node_id] = [int(share.coefficient(i))
+                                     for i in range(self.share_tree.ring.degree_bound)]
+        return FetchPolynomialsResponse(coefficients)
+
+    def _handle_fetch_constants(self, message: FetchConstantsRequest
+                                ) -> FetchConstantsResponse:
+        self.observations.constants_served.extend(message.node_ids)
+        return FetchConstantsResponse({
+            node_id: int(self.share_tree.share_of(node_id).constant_term)
+            for node_id in message.node_ids})
+
+    def _handle_prune(self, message: PruneNotice) -> Acknowledgement:
+        self.observations.pruned_nodes.extend(message.node_ids)
+        return Acknowledgement()
+
+    def _handle_blob(self) -> BlobResponse:
+        if self.encrypted_blob is None:
+            raise ProtocolError("this server has no download-all blob configured")
+        return BlobResponse(self.encrypted_blob)
+
+    # -- reporting -----------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Measured storage of the server's share tree (§5)."""
+        return self.share_tree.storage_bits()

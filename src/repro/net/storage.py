@@ -1,0 +1,138 @@
+"""Server-side persistence of share trees.
+
+The server's state (ring parameters, public structure, share polynomials)
+is plain data; this module serialises it to a JSON document so that the
+server can be restarted, copied or inspected — and so that the storage
+figures of §5 can also be reported as concrete on-disk bytes.
+
+The *client's* secrets (seed and tag mapping) are intentionally not part
+of this format; see :meth:`repro.core.ClientContext.secret_state`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing, FpQuotientRing, IntQuotientRing
+from ..algebra.rings import ZZ
+from ..core.share_tree import ServerShareTree
+from ..errors import ProtocolError
+
+__all__ = [
+    "ring_to_dict",
+    "ring_from_dict",
+    "share_tree_to_dict",
+    "share_tree_from_dict",
+    "save_share_tree",
+    "load_share_tree",
+    "InMemoryServerStore",
+]
+
+
+def ring_to_dict(ring: EncodingRing) -> Dict[str, Any]:
+    """Serialisable description of an encoding ring."""
+    if isinstance(ring, FpQuotientRing):
+        return {"kind": "fp", "p": ring.p}
+    if isinstance(ring, IntQuotientRing):
+        return {
+            "kind": "int",
+            "modulus": [int(c) for c in ring.modulus.coeffs],
+            "random_bound": ring.coefficient_ring.random_bound,
+        }
+    raise ProtocolError(f"cannot serialise ring {ring!r}")
+
+
+def ring_from_dict(data: Dict[str, Any]) -> EncodingRing:
+    """Inverse of :func:`ring_to_dict`."""
+    kind = data.get("kind")
+    if kind == "fp":
+        return FpQuotientRing(int(data["p"]))
+    if kind == "int":
+        modulus = Polynomial([int(c) for c in data["modulus"]], ZZ)
+        return IntQuotientRing(modulus, random_bound=int(data.get("random_bound", 2 ** 32)))
+    raise ProtocolError(f"unknown ring kind {kind!r}")
+
+
+def share_tree_to_dict(tree: ServerShareTree) -> Dict[str, Any]:
+    """Serialisable form of a server share tree."""
+    return {
+        "ring": ring_to_dict(tree.ring),
+        "root_id": tree.root_id,
+        "nodes": [
+            {
+                "id": node_id,
+                "parent": tree.parents[node_id],
+                "coefficients": [int(c) for c in tree.shares[node_id].coeffs],
+            }
+            for node_id in tree.node_ids()
+        ],
+    }
+
+
+def share_tree_from_dict(data: Dict[str, Any]) -> ServerShareTree:
+    """Inverse of :func:`share_tree_to_dict`."""
+    ring = ring_from_dict(data["ring"])
+    tree = ServerShareTree(ring)
+    for node in data["nodes"]:
+        share = ring.from_coefficients(node["coefficients"])
+        tree.add_node(int(node["id"]),
+                      None if node["parent"] is None else int(node["parent"]),
+                      share)
+    if tree.root_id != data.get("root_id"):
+        raise ProtocolError("inconsistent root id in the stored share tree")
+    return tree
+
+
+def save_share_tree(tree: ServerShareTree, path: str) -> int:
+    """Write the share tree as JSON; returns the file size in bytes."""
+    payload = json.dumps(share_tree_to_dict(tree), separators=(",", ":"))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return os.path.getsize(path)
+
+
+def load_share_tree(path: str) -> ServerShareTree:
+    """Load a share tree previously written by :func:`save_share_tree`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return share_tree_from_dict(json.load(handle))
+
+
+class InMemoryServerStore:
+    """A trivial keyed store of share trees (a multi-document 'database').
+
+    Lets one server process host several outsourced documents, addressed by
+    a collection name — the shape a real deployment of the scheme would
+    take.  Keys are opaque to the scheme itself.
+    """
+
+    def __init__(self) -> None:
+        self._trees: Dict[str, ServerShareTree] = {}
+
+    def put(self, name: str, tree: ServerShareTree) -> None:
+        """Store (or replace) a share tree under ``name``."""
+        self._trees[name] = tree
+
+    def get(self, name: str) -> ServerShareTree:
+        """Fetch a stored share tree; raises ``KeyError`` when absent."""
+        return self._trees[name]
+
+    def delete(self, name: str) -> None:
+        """Remove a stored share tree."""
+        del self._trees[name]
+
+    def names(self) -> list:
+        """All stored collection names, sorted."""
+        return sorted(self._trees)
+
+    def total_storage_bits(self) -> int:
+        """Aggregate storage of every stored tree."""
+        return sum(tree.storage_bits() for tree in self._trees.values())
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._trees

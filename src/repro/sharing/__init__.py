@@ -1,0 +1,22 @@
+"""Secret-sharing substrate: additive 2-party splits, Shamir threshold
+sharing and the multi-server extensions sketched in §4.2 of the paper."""
+
+from .additive import (
+    AdditiveShare,
+    combine_additive,
+    split_additively,
+    split_additively_n,
+)
+from .multiserver import AdditiveMultiServerSharing, ThresholdPolynomialSharing
+from .shamir import ShamirScheme, ShamirShare
+
+__all__ = [
+    "AdditiveShare",
+    "split_additively",
+    "split_additively_n",
+    "combine_additive",
+    "ShamirScheme",
+    "ShamirShare",
+    "ThresholdPolynomialSharing",
+    "AdditiveMultiServerSharing",
+]

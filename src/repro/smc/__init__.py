@@ -1,0 +1,5 @@
+"""Secure multi-party computation substrate (the §3 voting protocols)."""
+
+from .voting import ProtocolTranscript, SecureSummation, SecureVeto, VotingParty
+
+__all__ = ["VotingParty", "ProtocolTranscript", "SecureSummation", "SecureVeto"]

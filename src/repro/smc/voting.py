@@ -1,0 +1,258 @@
+"""Secure multi-party computation substrate (§3 of the paper).
+
+The paper motivates its searching scheme by secure multi-party computation
+and walks through one concrete protocol: every party ``P_i`` shares its
+private input ``x_i`` with a random degree-``t`` polynomial ``g_i`` with
+``g_i(0) = x_i`` and sends ``g_i(j)`` to party ``P_j``; each party then
+locally sums the shares it received, and any ``t`` collaborating parties
+interpolate ``h = Σ g_i`` to learn ``f(x_1..x_n) = h(0) = Σ x_i`` — the
+majority-vote function.  The veto variant computes ``Π x_i`` instead.
+
+This module implements both, with explicit message accounting so the
+benchmarks can report communication costs as a function of the number of
+parties (experiment E12 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.fp import PrimeField
+from ..algebra.interpolate import lagrange_evaluate_at
+from ..algebra.poly import Polynomial
+from ..errors import SharingError, ThresholdError
+
+__all__ = ["VotingParty", "ProtocolTranscript", "SecureSummation", "SecureVeto"]
+
+
+class ProtocolTranscript:
+    """Message accounting for one protocol run."""
+
+    __slots__ = ("messages_sent", "field_elements_sent", "rounds")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.field_elements_sent = 0
+        self.rounds = 0
+
+    def record(self, messages: int, field_elements: int) -> None:
+        """Record one communication round."""
+        self.messages_sent += messages
+        self.field_elements_sent += field_elements
+        self.rounds += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """Dictionary form for tabular reporting."""
+        return {
+            "messages_sent": self.messages_sent,
+            "field_elements_sent": self.field_elements_sent,
+            "rounds": self.rounds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ProtocolTranscript(messages={self.messages_sent}, "
+                f"elements={self.field_elements_sent}, rounds={self.rounds})")
+
+
+class VotingParty:
+    """One party: holds a private input and the shares received from others."""
+
+    def __init__(self, index: int, private_input: int, field: PrimeField) -> None:
+        if index <= 0:
+            raise SharingError("party indices must be positive")
+        self.index = index
+        self.private_input = field.canonical(private_input)
+        self.field = field
+        #: Shares g_i(self.index) received from every party i (including self).
+        self.received_shares: Dict[int, int] = {}
+
+    # -- phase 1: input sharing ---------------------------------------------------
+    def sharing_polynomial(self, degree: int, rng: random.Random) -> Polynomial:
+        """Random polynomial ``g_i`` of the given degree with ``g_i(0) = x_i``."""
+        coefficients = [self.private_input]
+        coefficients += [self.field.random_element(rng) for _ in range(degree)]
+        return Polynomial(coefficients, self.field)
+
+    def receive_share(self, from_party: int, value: int) -> None:
+        """Store the share ``g_{from_party}(self.index)``."""
+        self.received_shares[from_party] = self.field.canonical(value)
+
+    # -- phase 2: local computation ---------------------------------------------------
+    def local_sum(self) -> int:
+        """The party's share ``h(j) = Σ_i g_i(j)`` of the sum function."""
+        total = self.field.zero
+        for value in self.received_shares.values():
+            total = self.field.add(total, value)
+        return total
+
+    def local_product(self) -> int:
+        """The party's share ``Π_i g_i(j)`` of the product (veto) function."""
+        result = self.field.one
+        for value in self.received_shares.values():
+            result = self.field.mul(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"VotingParty(index={self.index})"
+
+
+class _BaseProtocol:
+    """Shared plumbing of the two §3 protocols."""
+
+    def __init__(self, field: PrimeField, threshold: int,
+                 inputs: Sequence[int], rng: Optional[random.Random] = None) -> None:
+        if threshold < 1:
+            raise ThresholdError("the threshold must be at least 1")
+        if len(inputs) < threshold:
+            raise ThresholdError("cannot have fewer parties than the threshold")
+        if len(inputs) >= field.p:
+            raise ThresholdError("the field is too small for this many parties")
+        self.field = field
+        self.threshold = threshold
+        self.rng = rng or random.Random(0xB411077)
+        self.parties = [VotingParty(i + 1, value, field)
+                        for i, value in enumerate(inputs)]
+        self.transcript = ProtocolTranscript()
+
+    @property
+    def party_count(self) -> int:
+        """Number of participating parties."""
+        return len(self.parties)
+
+    def _distribute_inputs(self) -> None:
+        """Phase 1: every party shares its input with every other party."""
+        degree = self.threshold - 1
+        messages = 0
+        elements = 0
+        for sender in self.parties:
+            polynomial = sender.sharing_polynomial(degree, self.rng)
+            for receiver in self.parties:
+                receiver.receive_share(sender.index, polynomial.evaluate(receiver.index))
+                if receiver.index != sender.index:
+                    messages += 1
+                    elements += 1
+        self.transcript.record(messages, elements)
+
+    def _collect(self, local_values: Dict[int, int],
+                 collaborators: int) -> List[Tuple[int, int]]:
+        """Phase 3: ``collaborators`` parties pool their local results."""
+        if collaborators > len(local_values):
+            raise ThresholdError("not enough parties to collaborate")
+        selected = sorted(local_values.items())[:collaborators]
+        # Every collaborating party sends its single result value to the others.
+        self.transcript.record(messages=collaborators * (collaborators - 1),
+                               field_elements=collaborators * (collaborators - 1))
+        return selected
+
+
+class SecureSummation(_BaseProtocol):
+    """The majority-vote protocol: ``f(x_1..x_n) = Σ x_i`` (mod p)."""
+
+    def run(self, collaborators: Optional[int] = None) -> int:
+        """Execute the protocol and return the (shared, then opened) sum."""
+        collaborators = collaborators if collaborators is not None else self.threshold
+        if collaborators < self.threshold:
+            raise ThresholdError(
+                f"at least {self.threshold} collaborating parties are required")
+        self._distribute_inputs()
+        local = {party.index: party.local_sum() for party in self.parties}
+        points = self._collect(local, collaborators)
+        return lagrange_evaluate_at(points[: self.threshold], 0, self.field)
+
+    def expected_result(self) -> int:
+        """The plaintext sum (for tests and benchmarks)."""
+        total = self.field.zero
+        for party in self.parties:
+            total = self.field.add(total, party.private_input)
+        return total
+
+
+class SecureVeto(_BaseProtocol):
+    """The veto protocol: ``f(x_1..x_n) = Π x_i`` (mod p).
+
+    Multiplying two degree-``(t-1)`` sharings yields a degree-``2(t-1)``
+    sharing, so the product is computed pairwise with a BGW-style *degree
+    reduction* after every multiplication: each party re-shares its product
+    share with a fresh degree-``(t-1)`` polynomial and the parties locally
+    recombine the sub-shares with the Lagrange weights for 0.  This needs
+    ``n ≥ 2t - 1`` parties.  With ``threshold=1`` the protocol degenerates
+    to the naive local product (no reduction rounds), which matches the
+    paper's simple description.
+    """
+
+    def __init__(self, field: PrimeField, threshold: int,
+                 inputs: Sequence[int], rng: Optional[random.Random] = None) -> None:
+        super().__init__(field, threshold, inputs, rng)
+        self.product_degree = 2 * (threshold - 1)
+        if self.product_degree + 1 > len(inputs):
+            raise ThresholdError(
+                "degree reduction after a multiplication needs at least "
+                f"{self.product_degree + 1} parties (2·threshold − 1) but only "
+                f"{len(inputs)} participate")
+
+    def _lagrange_weights_at_zero(self, indices: Sequence[int]) -> Dict[int, int]:
+        weights: Dict[int, int] = {}
+        for i in indices:
+            weight = self.field.one
+            for j in indices:
+                if i == j:
+                    continue
+                weight = self.field.mul(weight, self.field.mul(
+                    self.field.neg(j), self.field.invert(self.field.sub(i, j))))
+            weights[i] = weight
+        return weights
+
+    def _degree_reduce(self, shares: Dict[int, int]) -> Dict[int, int]:
+        """One BGW degree-reduction round on a degree-``2(t-1)`` sharing."""
+        degree = self.threshold - 1
+        indices = sorted(shares)[: self.product_degree + 1]
+        weights = self._lagrange_weights_at_zero(indices)
+        # Every party re-shares its (product) share; sub_shares[j][i] is the
+        # sub-share party i receives from party j.
+        sub_shares: Dict[int, Dict[int, int]] = {}
+        messages = 0
+        for j in indices:
+            coefficients = [shares[j]] + [self.field.random_element(self.rng)
+                                          for _ in range(degree)]
+            polynomial = Polynomial(coefficients, self.field)
+            sub_shares[j] = {party.index: polynomial.evaluate(party.index)
+                             for party in self.parties}
+            messages += len(self.parties) - 1
+        self.transcript.record(messages, messages)
+        reduced: Dict[int, int] = {}
+        for party in self.parties:
+            total = self.field.zero
+            for j in indices:
+                total = self.field.add(total, self.field.mul(
+                    weights[j], sub_shares[j][party.index]))
+            reduced[party.index] = total
+        return reduced
+
+    def run(self, collaborators: Optional[int] = None) -> int:
+        """Execute the veto protocol and return the opened product."""
+        collaborators = collaborators if collaborators is not None else self.threshold
+        if collaborators < self.threshold:
+            raise ThresholdError(
+                f"at least {self.threshold} collaborating parties are required")
+        self._distribute_inputs()
+        # Start from the sharing of x_1 and fold in x_2 .. x_n one at a time.
+        current = {party.index: party.received_shares[self.parties[0].index]
+                   for party in self.parties}
+        for sender in self.parties[1:]:
+            multiplied = {party.index: self.field.mul(
+                current[party.index], party.received_shares[sender.index])
+                for party in self.parties}
+            if self.threshold > 1:
+                current = self._degree_reduce(multiplied)
+            else:
+                current = multiplied
+        points = self._collect(current, collaborators)
+        return lagrange_evaluate_at(points[: self.threshold], 0, self.field)
+
+    def expected_result(self) -> int:
+        """The plaintext product (for tests and benchmarks)."""
+        result = self.field.one
+        for party in self.parties:
+            result = self.field.mul(result, party.private_input)
+        return result

@@ -1,0 +1,38 @@
+"""Document workloads: the paper's figure-1 example, a parameterised random
+generator, a customer/order catalog and an XMark-like auction site."""
+
+from .catalog import CATALOG_QUERIES, CatalogConfig, generate_catalog_document
+from .figure1 import (
+    PAPER_PRIME,
+    expected_figure2_fp_polynomials,
+    expected_figure2_int_polynomials,
+    expected_figure5_sums,
+    expected_figure6_sums,
+    figure1_document,
+    figure1_fp_ring,
+    figure1_int_ring,
+    figure1_mapping,
+)
+from .random_xml import RandomXmlConfig, generate_random_document, tag_vocabulary
+from .xmark_like import XMARK_QUERIES, XMarkConfig, generate_xmark_document
+
+__all__ = [
+    "PAPER_PRIME",
+    "figure1_document",
+    "figure1_mapping",
+    "figure1_fp_ring",
+    "figure1_int_ring",
+    "expected_figure2_fp_polynomials",
+    "expected_figure2_int_polynomials",
+    "expected_figure5_sums",
+    "expected_figure6_sums",
+    "RandomXmlConfig",
+    "generate_random_document",
+    "tag_vocabulary",
+    "CatalogConfig",
+    "generate_catalog_document",
+    "CATALOG_QUERIES",
+    "XMarkConfig",
+    "generate_xmark_document",
+    "XMARK_QUERIES",
+]

@@ -1,0 +1,15 @@
+"""XML substrate: element-tree model, from-scratch parser and serializer."""
+
+from .model import TreeStatistics, XmlDocument, XmlElement
+from .parser import parse_document, parse_element
+from .serializer import serialize_document, serialize_element
+
+__all__ = [
+    "XmlElement",
+    "XmlDocument",
+    "TreeStatistics",
+    "parse_document",
+    "parse_element",
+    "serialize_document",
+    "serialize_element",
+]

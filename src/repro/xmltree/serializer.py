@@ -1,0 +1,60 @@
+"""Serialization of the element-tree model back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import XmlDocument, XmlElement
+
+__all__ = ["serialize_element", "serialize_document"]
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+_ATTR_ESCAPES = dict(_ESCAPES, **{'"': "&quot;"})
+
+
+def _escape(text: str, table: dict) -> str:
+    return "".join(table.get(ch, ch) for ch in text)
+
+
+def serialize_element(element: XmlElement, indent: int = 2, _level: int = 0) -> str:
+    """Pretty-print an element subtree as XML text.
+
+    ``indent=0`` produces compact single-line output (useful for byte-size
+    accounting in the download-all baseline).
+    """
+    pad = " " * (indent * _level) if indent else ""
+    newline = "\n" if indent else ""
+    attributes = "".join(
+        f' {name}="{_escape(value, _ATTR_ESCAPES)}"'
+        for name, value in element.attributes.items()
+    )
+    if not element.children and not element.text:
+        return f"{pad}<{element.tag}{attributes}/>"
+    parts: List[str] = [f"{pad}<{element.tag}{attributes}>"]
+    if element.text:
+        if element.children:
+            parts.append(f"{newline}{pad}{_escape(element.text, _ESCAPES)}" if indent
+                         else _escape(element.text, _ESCAPES))
+        else:
+            parts.append(_escape(element.text, _ESCAPES))
+    for child in element.children:
+        parts.append(newline + serialize_element(child, indent, _level + 1))
+    if element.children:
+        parts.append(f"{newline}{pad}</{element.tag}>")
+    else:
+        parts.append(f"</{element.tag}>")
+    return "".join(parts)
+
+
+def serialize_document(document: XmlDocument, indent: int = 2,
+                       declaration: bool = True) -> str:
+    """Serialize a whole document, optionally with an XML declaration."""
+    body = serialize_element(document.root, indent)
+    if declaration:
+        newline = "\n" if indent else ""
+        return f'<?xml version="1.0" encoding="UTF-8"?>{newline}{body}'
+    return body

@@ -1,0 +1,18 @@
+"""XPath subset: parsing, plaintext evaluation and encrypted query planning."""
+
+from .ast import Axis, LocationPath, Step
+from .evaluator import element_matches_path, evaluate_xpath
+from .parser import parse_xpath
+from .plan import PlannedStep, TagQueryPlan, compile_plan
+
+__all__ = [
+    "Axis",
+    "Step",
+    "LocationPath",
+    "parse_xpath",
+    "evaluate_xpath",
+    "element_matches_path",
+    "PlannedStep",
+    "TagQueryPlan",
+    "compile_plan",
+]

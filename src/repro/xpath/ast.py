@@ -1,0 +1,116 @@
+"""Abstract syntax for the XPath subset used by the paper.
+
+The paper's queries are pure location paths over element tags, such as
+``//client`` (element lookup, §4.3) and ``//a/b//c/d/e`` (advanced
+querying).  The subset implemented here is:
+
+``('/' | '//') step ( ('/' | '//') step )*``
+
+where every *step* is a tag name or the wildcard ``*``; ``/`` selects
+children and ``//`` selects descendants.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+__all__ = ["Axis", "Step", "LocationPath"]
+
+
+class Axis(enum.Enum):
+    """Navigation axis of a step."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Step:
+    """One location step: an axis plus a tag test (``*`` matches any tag)."""
+
+    __slots__ = ("axis", "tag")
+
+    WILDCARD = "*"
+
+    def __init__(self, axis: Axis, tag: str) -> None:
+        if not isinstance(axis, Axis):
+            raise TypeError("axis must be an Axis")
+        if not tag:
+            raise ValueError("step tag must be non-empty (use '*' for a wildcard)")
+        self.axis = axis
+        self.tag = tag
+
+    def is_wildcard(self) -> bool:
+        """True when the step matches any tag."""
+        return self.tag == self.WILDCARD
+
+    def matches_tag(self, tag: str) -> bool:
+        """Tag test for a concrete element tag."""
+        return self.is_wildcard() or self.tag == tag
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Step):
+            return NotImplemented
+        return self.axis == other.axis and self.tag == other.tag
+
+    def __hash__(self) -> int:
+        return hash((self.axis, self.tag))
+
+    def __repr__(self) -> str:
+        return f"Step({self.axis.name}, {self.tag!r})"
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}{self.tag}"
+
+
+class LocationPath:
+    """A parsed query: an ordered sequence of steps."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Sequence[Step]) -> None:
+        if not steps:
+            raise ValueError("a location path needs at least one step")
+        self.steps: Tuple[Step, ...] = tuple(steps)
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of steps."""
+        return len(self.steps)
+
+    def tags(self) -> List[str]:
+        """Tags of all non-wildcard steps, in query order (with repeats)."""
+        return [step.tag for step in self.steps if not step.is_wildcard()]
+
+    def distinct_tags(self) -> List[str]:
+        """Distinct non-wildcard tags, sorted."""
+        return sorted(set(self.tags()))
+
+    def is_single_descendant_lookup(self) -> bool:
+        """True for the paper's simple element lookup ``//tag``."""
+        return (len(self.steps) == 1
+                and self.steps[0].axis is Axis.DESCENDANT
+                and not self.steps[0].is_wildcard())
+
+    def has_wildcards(self) -> bool:
+        """True when any step is a wildcard."""
+        return any(step.is_wildcard() for step in self.steps)
+
+    # -- equality / printing -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocationPath):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"LocationPath({list(self.steps)!r})"
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)

@@ -1,0 +1,67 @@
+"""Reference XPath evaluation over plaintext element trees.
+
+This evaluator provides the *ground truth* for every query: the encrypted
+search protocol (:mod:`repro.core.query`) and all baselines are checked
+against it in the tests, and the plaintext baseline
+(:mod:`repro.baselines.plaintext`) simply wraps it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Union
+
+from ..xmltree import XmlDocument, XmlElement
+from .ast import Axis, LocationPath, Step
+from .parser import parse_xpath
+
+__all__ = ["evaluate_xpath", "element_matches_path"]
+
+
+def _initial_candidates(root: XmlElement, step: Step) -> List[XmlElement]:
+    if step.axis is Axis.DESCENDANT:
+        return [node for node in root.iter() if step.matches_tag(node.tag)]
+    # A leading child step anchors at the document root element itself.
+    return [root] if step.matches_tag(root.tag) else []
+
+
+def _advance(candidates: Iterable[XmlElement], step: Step) -> List[XmlElement]:
+    seen: Set[int] = set()
+    result: List[XmlElement] = []
+    for node in candidates:
+        if step.axis is Axis.CHILD:
+            pool: Iterable[XmlElement] = node.children
+        else:
+            pool = node.descendants()
+        for candidate in pool:
+            if step.matches_tag(candidate.tag) and id(candidate) not in seen:
+                seen.add(id(candidate))
+                result.append(candidate)
+    return result
+
+
+def evaluate_xpath(document: Union[XmlDocument, XmlElement],
+                   query: Union[str, LocationPath]) -> List[XmlElement]:
+    """All elements selected by ``query``, in document order.
+
+    ``query`` may be a string (parsed with :func:`parse_xpath`) or an
+    already-parsed :class:`LocationPath`.
+    """
+    root = document.root if isinstance(document, XmlDocument) else document
+    path = parse_xpath(query) if isinstance(query, str) else query
+
+    candidates = _initial_candidates(root, path.steps[0])
+    for step in path.steps[1:]:
+        if not candidates:
+            return []
+        candidates = _advance(candidates, step)
+
+    # Restore document order: pre-order position in the tree.
+    order = {id(node): index for index, node in enumerate(root.iter())}
+    return sorted(candidates, key=lambda node: order[id(node)])
+
+
+def element_matches_path(element: XmlElement,
+                         query: Union[str, LocationPath]) -> bool:
+    """True when ``element`` is in the result set of ``query`` over its tree."""
+    root = element.root()
+    return any(node is element for node in evaluate_xpath(root, query))

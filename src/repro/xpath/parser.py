@@ -1,0 +1,66 @@
+"""Parser for the XPath subset (location paths over tag names)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import XPathSyntaxError
+from .ast import Axis, LocationPath, Step
+
+__all__ = ["parse_xpath"]
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789-._:")
+
+
+def parse_xpath(query: str) -> LocationPath:
+    """Parse a query string such as ``//a/b//c`` into a :class:`LocationPath`.
+
+    Raises :class:`~repro.errors.XPathSyntaxError` for anything outside the
+    supported subset (predicates, attributes, functions, absolute text
+    matches, ...).
+    """
+    if not isinstance(query, str):
+        raise XPathSyntaxError("the query must be a string")
+    text = query.strip()
+    if not text:
+        raise XPathSyntaxError("empty query")
+    if not text.startswith("/"):
+        # A bare relative path like "a/b" is treated as "//a/b", which matches
+        # the informal usage in the paper's prose.
+        text = "//" + text
+
+    steps: List[Step] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        if text.startswith("//", position):
+            axis = Axis.DESCENDANT
+            position += 2
+        elif text.startswith("/", position):
+            axis = Axis.CHILD
+            position += 1
+        else:
+            raise XPathSyntaxError(
+                f"expected '/' or '//' at offset {position} in {query!r}")
+        if position >= length:
+            raise XPathSyntaxError(f"dangling axis at the end of {query!r}")
+        if text[position] == "*":
+            steps.append(Step(axis, Step.WILDCARD))
+            position += 1
+            continue
+        if text[position] not in _NAME_START:
+            raise XPathSyntaxError(
+                f"unsupported token {text[position]!r} at offset {position} in {query!r}")
+        start = position
+        while position < length and text[position] in _NAME_CHARS:
+            position += 1
+        name = text[start:position]
+        if position < length and text[position] not in "/":
+            raise XPathSyntaxError(
+                f"unsupported syntax after step {name!r} in {query!r} "
+                "(predicates, attributes and functions are not part of the subset)")
+        steps.append(Step(axis, name))
+    if not steps:
+        raise XPathSyntaxError(f"no steps found in {query!r}")
+    return LocationPath(steps)

@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import FpQuotientRing, IntQuotientRing, PrimeField, default_int_modulus
+from repro.core import TagMapping, encode_document, outsource_document
+from repro.prg import DeterministicPRG
+from repro.workloads import (
+    CatalogConfig,
+    RandomXmlConfig,
+    figure1_document,
+    figure1_fp_ring,
+    figure1_int_ring,
+    figure1_mapping,
+    generate_catalog_document,
+    generate_random_document,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic Random instance."""
+    return random.Random(0xDECAF)
+
+
+@pytest.fixture
+def f5():
+    """The paper's prime field F_5."""
+    return PrimeField(5)
+
+
+@pytest.fixture
+def f101():
+    """A slightly larger prime field."""
+    return PrimeField(101)
+
+
+@pytest.fixture
+def fp_ring():
+    """The paper's F_5[x]/(x^4 - 1) ring."""
+    return figure1_fp_ring()
+
+
+@pytest.fixture
+def int_ring():
+    """The paper's Z[x]/(x^2 + 1) ring."""
+    return figure1_int_ring()
+
+
+@pytest.fixture
+def paper_document():
+    """The figure-1(a) document."""
+    return figure1_document()
+
+
+@pytest.fixture
+def paper_mapping():
+    """The figure-1(b) mapping."""
+    return figure1_mapping()
+
+
+@pytest.fixture
+def paper_tree_fp(paper_document, paper_mapping, fp_ring):
+    """The figure-2(a) polynomial tree."""
+    return encode_document(paper_document, paper_mapping, fp_ring)
+
+
+@pytest.fixture
+def paper_tree_int(paper_document, paper_mapping, int_ring):
+    """The figure-2(b) polynomial tree."""
+    return encode_document(paper_document, paper_mapping, int_ring)
+
+
+@pytest.fixture
+def catalog_document():
+    """A moderately sized realistic document."""
+    return generate_catalog_document(CatalogConfig(customers=6, products=5, seed=11))
+
+
+@pytest.fixture
+def small_random_document():
+    """A small random document with a modest tag vocabulary."""
+    return generate_random_document(
+        RandomXmlConfig(element_count=30, tag_vocabulary_size=5, seed=5))
+
+
+@pytest.fixture
+def outsourced_catalog(catalog_document):
+    """(client, server_tree, tree) for the catalog document in an F_p ring."""
+    return outsource_document(catalog_document, seed=b"test-seed")
+
+
+@pytest.fixture
+def prg():
+    """A deterministic PRG with a fixed seed."""
+    return DeterministicPRG(b"unit-test-seed")

@@ -1,0 +1,128 @@
+"""Tests for advanced (multi-step) querying: both strategies, all workloads."""
+
+import pytest
+
+from repro.baselines import PlaintextSearchIndex
+from repro.core import AdvancedStrategy, choose_int_ring, outsource_document
+from repro.workloads import (
+    CATALOG_QUERIES,
+    XMARK_QUERIES,
+    XMarkConfig,
+    generate_catalog_document,
+    generate_xmark_document,
+)
+from repro.xmltree import parse_document
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query", CATALOG_QUERIES)
+    def test_catalog_queries_match_plaintext(self, outsourced_catalog,
+                                             catalog_document, query):
+        client, server_tree, _ = outsourced_catalog
+        truth = PlaintextSearchIndex(catalog_document).query(query).matches
+        for strategy in AdvancedStrategy:
+            assert client.xpath(server_tree, query, strategy=strategy).matches == truth
+
+    @pytest.mark.parametrize("query", XMARK_QUERIES)
+    def test_xmark_queries_match_plaintext(self, query):
+        document = generate_xmark_document(XMarkConfig(items_per_region=2, people=6,
+                                                       open_auctions=4))
+        client, server_tree, _ = outsource_document(document, seed=b"xmark")
+        truth = PlaintextSearchIndex(document).query(query).matches
+        for strategy in AdvancedStrategy:
+            assert client.xpath(server_tree, query, strategy=strategy).matches == truth
+
+    def test_int_ring_advanced_query(self):
+        document = generate_catalog_document()
+        client, server_tree, _ = outsource_document(
+            document, ring=choose_int_ring(2), seed=b"adv-int")
+        truth = PlaintextSearchIndex(document).query("//customer/order//product").matches
+        assert client.xpath(server_tree, "//customer/order//product").matches == truth
+
+    def test_empty_result_queries(self, outsourced_catalog, catalog_document):
+        client, server_tree, _ = outsourced_catalog
+        # 'location' only occurs under warehouses, never under customers.
+        query = "//customer//location"
+        assert PlaintextSearchIndex(catalog_document).query(query).matches == []
+        result = client.xpath(server_tree, query)
+        assert result.matches == []
+        # The single-pass strategy notices the dead end after very few steps.
+        assert result.per_step_candidates[-1] == 0
+
+    def test_absolute_child_path(self, outsourced_catalog, catalog_document):
+        client, server_tree, _ = outsourced_catalog
+        truth = PlaintextSearchIndex(catalog_document).query("/company/customers").matches
+        assert client.xpath(server_tree, "/company/customers").matches == truth
+        assert client.xpath(server_tree, "/customers").matches == []
+
+    def test_wildcard_steps(self, outsourced_catalog, catalog_document):
+        client, server_tree, _ = outsourced_catalog
+        for query in ("//customer/*", "//*/order", "//order/*/product"):
+            truth = PlaintextSearchIndex(catalog_document).query(query).matches
+            assert client.xpath(server_tree, query).matches == truth
+
+    def test_repeated_tag_in_path(self):
+        document = parse_document("<a><b><a><b/></a></b><b/></a>")
+        client, server_tree, _ = outsource_document(document, seed=b"rep")
+        truth = PlaintextSearchIndex(document).query("//a/b//a").matches
+        assert client.xpath(server_tree, "//a/b//a").matches == truth
+
+    def test_precompiled_plan_accepted(self, outsourced_catalog, catalog_document):
+        from repro.xpath import compile_plan
+
+        client, server_tree, _ = outsourced_catalog
+        plan = compile_plan("//customer/order")
+        truth = PlaintextSearchIndex(catalog_document).query("//customer/order").matches
+        assert client.xpath(server_tree, plan).matches == truth
+
+
+class TestStrategyComparison:
+    def test_single_pass_prunes_haystack_branches_early(self):
+        """The paper's claim: pruning on the whole remaining tag multiset
+        filters branches "in a very early stage".
+
+        The document has a large 'haystack' subtree full of ``a`` elements
+        without any ``b`` below them, and one small subtree where ``//a/b``
+        actually matches.  The left-to-right strategy explores the haystack
+        (it prunes only on ``a``); the single-pass strategy discards it at its
+        root because the haystack lacks ``b``.
+        """
+        from repro.xmltree import XmlDocument, XmlElement
+
+        root = XmlElement("root")
+        haystack = root.add("haystack")
+        for _ in range(20):
+            haystack.add("a").add("c")
+        needle = root.add("needle")
+        needle.add("a").add("b")
+        document = XmlDocument(root)
+
+        client, server_tree, _ = outsource_document(document, seed=b"strategy")
+        truth = PlaintextSearchIndex(document).query("//a/b").matches
+        single = client.xpath(server_tree, "//a/b",
+                              strategy=AdvancedStrategy.SINGLE_PASS)
+        naive = client.xpath(server_tree, "//a/b",
+                             strategy=AdvancedStrategy.LEFT_TO_RIGHT)
+        assert single.matches == naive.matches == truth
+        # The naive strategy evaluates every haystack 'a' node; the single-pass
+        # strategy stops at the haystack root.
+        assert single.stats.evaluations < naive.stats.evaluations / 2
+
+    def test_strategies_agree_on_xmark(self):
+        document = generate_xmark_document(XMarkConfig(items_per_region=4, people=12,
+                                                       open_auctions=8))
+        client, server_tree, _ = outsource_document(document, seed=b"strategy")
+        for query in ["//europe/item", "//open_auction/bidder/personref",
+                      "//people/person/profile", "//person/profile/education"]:
+            single = client.xpath(server_tree, query,
+                                  strategy=AdvancedStrategy.SINGLE_PASS)
+            naive = client.xpath(server_tree, query,
+                                 strategy=AdvancedStrategy.LEFT_TO_RIGHT)
+            assert single.matches == naive.matches
+
+    def test_result_metadata(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        result = client.xpath(server_tree, "//customer/order")
+        assert result.strategy is AdvancedStrategy.SINGLE_PASS
+        assert len(result.per_step_candidates) == 2
+        assert str(result.plan.path) == "//customer/order"

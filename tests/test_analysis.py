@@ -1,0 +1,133 @@
+"""Tests for the analysis tooling: storage, bandwidth, leakage and tables."""
+
+import pytest
+
+from repro.analysis import (
+    audit_server_view,
+    format_ratio,
+    format_table,
+    fp_storage_formula_bits,
+    int_storage_formula_bits,
+    measure_download_all_bandwidth,
+    measure_lookup_bandwidth,
+    plaintext_storage_formula_bits,
+    rows_from_dicts,
+    share_value_histogram,
+    storage_report,
+)
+from repro.core import LocalServerAdapter, VerificationMode, choose_int_ring
+from repro.net import connect_in_process
+
+
+class TestStorageAnalysis:
+    def test_formulas(self):
+        assert plaintext_storage_formula_bits(100, 16) == pytest.approx(400)
+        assert fp_storage_formula_bits(100, 5) == pytest.approx(100 * 4 * 2.3219, rel=1e-3)
+        assert int_storage_formula_bits(10, 4, 2) == pytest.approx(100 * 3 * 2)
+
+    def test_report_rows(self, catalog_document, outsourced_catalog):
+        client, _, _ = outsourced_catalog
+        rows = storage_report(catalog_document, client.mapping,
+                              fp_ring=client.ring, int_ring=choose_int_ring(2))
+        assert [row.representation for row in rows][0] == "plaintext"
+        assert len(rows) == 3
+        plaintext_row, fp_row, int_row = rows
+        # The §5 ordering: encrypted representations cost (much) more.
+        assert fp_row.measured_bits > plaintext_row.measured_bits
+        assert int_row.measured_bits > plaintext_row.measured_bits
+        for row in rows:
+            assert row.overhead_vs_formula > 0
+            assert set(row.as_dict()) >= {"representation", "measured_bits",
+                                          "formula_bits"}
+
+    def test_report_with_single_ring(self, catalog_document, outsourced_catalog):
+        client, _, _ = outsourced_catalog
+        rows = storage_report(catalog_document, client.mapping, fp_ring=client.ring)
+        assert len(rows) == 2
+
+
+class TestBandwidthAnalysis:
+    def test_lookup_rows_cover_modes(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        rows = measure_lookup_bandwidth(client, server_tree, "customer")
+        assert [row.mode for row in rows] == [
+            "scheme/full", "scheme/constant-only", "scheme/none"]
+        assert all(row.total_bytes > 0 for row in rows)
+        assert rows[0].total_bytes > rows[2].total_bytes
+        assert all(row.matches == rows[0].matches for row in rows[:1])
+
+    def test_single_mode_selection(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        rows = measure_lookup_bandwidth(client, server_tree, "customer",
+                                        modes=[VerificationMode.NONE])
+        assert len(rows) == 1
+        assert rows[0].as_dict()["mode"] == "scheme/none"
+
+    def test_download_all_row(self, catalog_document):
+        row = measure_download_all_bandwidth(catalog_document, "customer")
+        assert row.mode == "baseline/download-all"
+        assert row.bytes_to_client > row.bytes_to_server
+        assert row.round_trips == 1
+
+    def test_scheme_beats_download_all_for_selective_queries(self, catalog_document,
+                                                             outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        scheme = measure_lookup_bandwidth(client, server_tree, "location",
+                                          modes=[VerificationMode.NONE])[0]
+        download = measure_download_all_bandwidth(catalog_document, "location")
+        assert scheme.total_bytes < download.total_bytes
+
+
+class TestLeakageAnalysis:
+    def test_audit_local_adapter(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        adapter = LocalServerAdapter(server_tree)
+        client.lookup(adapter, "customer", verification=VerificationMode.NONE)
+        client.lookup(adapter, "customer", verification=VerificationMode.NONE)
+        report = audit_server_view(adapter)
+        assert report.node_count == server_tree.node_count()
+        assert report.distinct_points_seen == 1
+        assert max(report.point_frequencies.values()) >= 2     # repetition is visible
+        assert report.tag_names_seen == 0
+        assert report.plaintext_seen == 0
+        assert report.structure_known
+
+    def test_audit_remote_server(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        adapter, server, _ = connect_in_process(server_tree)
+        client.lookup(adapter, "order")
+        client.lookup(adapter, "customer")
+        report = audit_server_view(server)
+        assert report.distinct_points_seen == 2
+        assert report.evaluation_requests > 0
+        assert "distinct_points_seen" in report.as_dict()
+
+    def test_audit_rejects_other_objects(self):
+        with pytest.raises(TypeError):
+            audit_server_view(object())
+
+    def test_share_histogram_spreads_over_field(self, outsourced_catalog):
+        _, server_tree, _ = outsourced_catalog
+        histogram = share_value_histogram(server_tree)
+        assert sum(histogram.values()) == server_tree.node_count()
+        # With >200 nodes over a small prime the histogram hits most values.
+        assert len(histogram) >= server_tree.ring.p // 2
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["x", 0.0001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+        assert "1.000e-04" in text
+
+    def test_format_ratio(self):
+        assert format_ratio(10, 2) == "5.0x"
+        assert format_ratio(1, 0) == "inf"
+        assert format_ratio(0, 0) == "1.0x"
+
+    def test_rows_from_dicts(self):
+        rows = rows_from_dicts([{"a": 1, "b": 2}, {"a": 3}], ["a", "b"])
+        assert rows == [[1, 2], [3, ""]]

@@ -1,0 +1,174 @@
+"""Tests for the four baseline systems and their agreement with ground truth."""
+
+import pytest
+
+from repro.baselines import (
+    BloomFilter,
+    DownloadAllClient,
+    PlaintextSearchIndex,
+    build_bloom_index,
+    build_linear_scan,
+    decrypt_blob,
+    encrypt_blob,
+    preorder_index,
+)
+from repro.prg import DeterministicPRG
+from repro.workloads import (
+    CatalogConfig,
+    generate_catalog_document,
+    generate_xmark_document,
+)
+from repro.xmltree import parse_document
+
+
+class TestPlaintextBaseline:
+    def test_lookup_and_query(self, catalog_document):
+        index = PlaintextSearchIndex(catalog_document)
+        result = index.lookup("customer")
+        assert len(result.matches) == 6
+        assert result.stats.nodes_visited == catalog_document.size()
+        assert index.query("//customer/order").matches
+
+    def test_storage_formulas(self, catalog_document):
+        index = PlaintextSearchIndex(catalog_document)
+        assert index.storage_bits_formula() > 0
+        assert index.storage_bits_measured() > index.storage_bits_formula()
+
+
+class TestDownloadAll:
+    def test_stream_cipher_roundtrip(self):
+        prg = DeterministicPRG(b"stream")
+        plaintext = b"some xml payload" * 10
+        ciphertext = encrypt_blob(plaintext, prg)
+        assert ciphertext != plaintext
+        assert decrypt_blob(ciphertext, prg) == plaintext
+
+    def test_blob_is_opaque_without_the_key(self):
+        prg = DeterministicPRG(b"key-a")
+        ciphertext = encrypt_blob(b"<customers/>", prg)
+        wrong = decrypt_blob(ciphertext, DeterministicPRG(b"key-b"))
+        assert wrong != b"<customers/>"
+
+    def test_query_correct_and_downloads_everything(self, catalog_document):
+        client = DownloadAllClient(DeterministicPRG(b"dl"))
+        server = client.outsource(catalog_document)
+        truth = PlaintextSearchIndex(catalog_document).query("//customer//product")
+        result = client.query(server, "//customer//product")
+        assert result.matches == truth.matches
+        # Bandwidth equals the whole (encrypted) document for every query.
+        assert result.stats.bytes_to_client == len(server.blob)
+        assert server.storage_bits() == len(server.blob) * 8
+        again = client.lookup(server, "customer")
+        assert again.stats.bytes_to_client == len(server.blob)
+
+
+class TestLinearScan:
+    def test_lookup_matches_ground_truth(self, catalog_document):
+        client, index = build_linear_scan(catalog_document)
+        plaintext = PlaintextSearchIndex(catalog_document)
+        for tag in catalog_document.distinct_tags():
+            assert client.lookup(index, tag).matches == plaintext.lookup(tag).matches
+
+    def test_every_query_scans_all_nodes(self, catalog_document):
+        client, index = build_linear_scan(catalog_document)
+        result = client.lookup(index, "customer")
+        assert result.stats.nodes_visited == catalog_document.size()
+        assert result.stats.server_operations == catalog_document.size()
+
+    def test_path_queries_joined_via_structure(self, catalog_document):
+        client, index = build_linear_scan(catalog_document)
+        plaintext = PlaintextSearchIndex(catalog_document)
+        for query in ("//customer/order", "//customer//product", "/company/customers"):
+            assert client.query(index, query).matches == plaintext.query(query).matches
+
+    def test_wildcard_path_query(self, catalog_document):
+        client, index = build_linear_scan(catalog_document)
+        plaintext = PlaintextSearchIndex(catalog_document)
+        assert client.query(index, "//order/*").matches == \
+            plaintext.query("//order/*").matches
+
+    def test_trapdoors_are_deterministic_and_private(self):
+        document = parse_document("<a><b/></a>")
+        client, _ = build_linear_scan(document)
+        assert client.trapdoor("b") == client.trapdoor("b")
+        assert client.trapdoor("b") != client.trapdoor("a")
+        other_client, _ = build_linear_scan(document, seed=b"other")
+        assert other_client.trapdoor("b") != client.trapdoor("b")
+
+    def test_storage_accounting(self, catalog_document):
+        _, index = build_linear_scan(catalog_document)
+        assert index.storage_bits() == catalog_document.size() * (16 + 16) * 8
+        assert index.node_count() == catalog_document.size()
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(50, 0.01)
+        items = [f"item-{i}".encode() for i in range(50)]
+        for item in items:
+            bloom.add(item)
+        assert all(bloom.might_contain(item) for item in items)
+
+    def test_false_positive_rate_roughly_respected(self):
+        bloom = BloomFilter.for_capacity(100, 0.05)
+        for i in range(100):
+            bloom.add(f"present-{i}".encode())
+        false_positives = sum(
+            bloom.might_contain(f"absent-{i}".encode()) for i in range(2000))
+        assert false_positives / 2000 < 0.15
+
+    def test_union(self):
+        a = BloomFilter(64, 3)
+        b = BloomFilter(64, 3)
+        a.add(b"x")
+        b.add(b"y")
+        union = a.union(b)
+        assert union.might_contain(b"x") and union.might_contain(b"y")
+        with pytest.raises(ValueError):
+            a.union(BloomFilter(128, 3))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, 1.5)
+
+
+class TestBloomIndex:
+    def test_lookup_matches_ground_truth(self, catalog_document):
+        client, index = build_bloom_index(catalog_document)
+        plaintext = PlaintextSearchIndex(catalog_document)
+        for tag in catalog_document.distinct_tags():
+            assert client.lookup(index, tag).matches == plaintext.lookup(tag).matches
+
+    def test_pruning_skips_subtrees(self, catalog_document):
+        client, index = build_bloom_index(catalog_document)
+        rare = client.lookup(index, "location")
+        assert rare.stats.nodes_visited < catalog_document.size()
+
+    def test_smaller_filters_cause_more_false_positive_visits(self):
+        document = generate_xmark_document()
+        _, tight_index = build_bloom_index(document, false_positive_rate=0.001)
+        tight_client, _ = build_bloom_index(document, false_positive_rate=0.001)
+        loose_client, loose_index = build_bloom_index(document, false_positive_rate=0.4)
+        tag = "education"
+        tight = tight_client.lookup(tight_index, tag)
+        loose = loose_client.lookup(loose_index, tag)
+        assert tight.matches == loose.matches
+        assert loose.stats.nodes_visited >= tight.stats.nodes_visited
+        assert loose_index.storage_bits() < tight_index.storage_bits()
+
+    def test_storage_positive(self, catalog_document):
+        _, index = build_bloom_index(catalog_document)
+        assert index.storage_bits() > 0
+        assert index.node_count() == catalog_document.size()
+
+
+class TestCommonHelpers:
+    def test_preorder_index_matches_scheme_ids(self, catalog_document):
+        index = preorder_index(catalog_document)
+        elements = catalog_document.elements()
+        assert index[id(elements[0])] == 0
+        assert index[id(elements[-1])] == catalog_document.size() - 1

@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import figure1_document
+from repro.xmltree import serialize_document
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "customers.xml"
+    path.write_text(serialize_document(figure1_document()), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def outsourced_files(tmp_path, xml_file, capsys):
+    server = str(tmp_path / "server.json")
+    client = str(tmp_path / "client.json")
+    code = main(["outsource", xml_file, "--server-out", server,
+                 "--client-out", client, "--seed", "cli-test-seed",
+                 "--allow-p-minus-one"])
+    capsys.readouterr()
+    assert code == 0
+    return server, client
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("outsource", "lookup", "query", "inspect", "decode"):
+            assert command in parser.format_help()
+
+
+class TestOutsource:
+    def test_creates_both_files(self, tmp_path, xml_file, capsys):
+        server = tmp_path / "server.json"
+        client = tmp_path / "client.json"
+        code = main(["outsource", xml_file, "--server-out", str(server),
+                     "--client-out", str(client), "--seed", "deadbeef"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "outsourced 5 elements" in output
+        server_data = json.loads(server.read_text())
+        client_data = json.loads(client.read_text())
+        assert server_data["ring"]["kind"] == "fp"
+        assert "secrets" in client_data and "mapping" in client_data["secrets"]
+        # No tag name leaks into the server file.
+        assert "customers" not in server.read_text()
+
+    def test_int_ring_option(self, tmp_path, xml_file, capsys):
+        server = tmp_path / "server.json"
+        client = tmp_path / "client.json"
+        code = main(["outsource", xml_file, "--server-out", str(server),
+                     "--client-out", str(client), "--ring", "int"])
+        assert code == 0
+        assert json.loads(server.read_text())["ring"]["kind"] == "int"
+        capsys.readouterr()
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        code = main(["outsource", str(tmp_path / "missing.xml"),
+                     "--server-out", str(tmp_path / "s.json"),
+                     "--client-out", str(tmp_path / "c.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueries:
+    def test_lookup(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        code = main(["lookup", server, client, "client"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "2 match(es)" in output
+        assert "customers/client" in output
+
+    def test_lookup_modes(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        for mode in ("full", "constant-only", "none"):
+            assert main(["lookup", server, client, "name", "--mode", mode]) == 0
+        capsys.readouterr()
+
+    def test_query_command(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        code = main(["query", server, client, "//client/name"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "2 match(es)" in output
+
+    def test_query_strategies(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        for strategy in ("single-pass", "left-to-right"):
+            assert main(["query", server, client, "//customers/client",
+                         "--strategy", strategy]) == 0
+        capsys.readouterr()
+
+    def test_unknown_tag_is_reported_as_error(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        code = main(["lookup", server, client, "nonexistent"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInspectAndDecode:
+    def test_inspect(self, outsourced_files, capsys):
+        server, _ = outsourced_files
+        assert main(["inspect", server]) == 0
+        output = capsys.readouterr().out
+        assert "nodes:       5" in output
+        assert "structure and share polynomials only" in output
+
+    def test_decode(self, outsourced_files, capsys):
+        server, client = outsourced_files
+        assert main(["decode", server, client, "4"]) == 0
+        assert capsys.readouterr().out.strip() == "customers/client/name"
+
+    def test_mismatched_client_and_server(self, tmp_path, xml_file, capsys):
+        # Outsource twice with different rings; mixing the files must fail.
+        fp_server, fp_client = str(tmp_path / "s1.json"), str(tmp_path / "c1.json")
+        int_server, int_client = str(tmp_path / "s2.json"), str(tmp_path / "c2.json")
+        main(["outsource", xml_file, "--server-out", fp_server,
+              "--client-out", fp_client, "--allow-p-minus-one"])
+        main(["outsource", xml_file, "--server-out", int_server,
+              "--client-out", int_client, "--ring", "int"])
+        capsys.readouterr()
+        code = main(["lookup", fp_server, int_client, "client"])
+        assert code == 1
+        assert "different ring" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Tests for the polynomial-tree encoder (§4.1)."""
+
+import pytest
+
+from repro.algebra import FpQuotientRing
+from repro.core import PolynomialTree, TagMapping, encode_document, encode_element
+from repro.errors import EncodingError
+from repro.xmltree import XmlDocument, XmlElement, parse_document
+
+
+class TestTreeStructure:
+    def test_preorder_identifiers(self, paper_tree_fp):
+        assert paper_tree_fp.root_id == 0
+        assert paper_tree_fp.node_ids() == [0, 1, 2, 3, 4]
+        assert [node.parent_id for node in paper_tree_fp.iter_preorder()] == [
+            None, 0, 1, 0, 3]
+
+    def test_children_and_parent_navigation(self, paper_tree_fp):
+        assert [child.node_id for child in paper_tree_fp.children(0)] == [1, 3]
+        assert paper_tree_fp.parent(1).node_id == 0
+        assert paper_tree_fp.parent(0) is None
+
+    def test_depths(self, paper_tree_fp):
+        assert [paper_tree_fp.depth_of(i) for i in range(5)] == [0, 1, 2, 1, 2]
+
+    def test_subtree_ids(self, paper_tree_fp):
+        assert paper_tree_fp.subtree_ids(1) == [1, 2]
+        assert paper_tree_fp.subtree_ids(0) == [0, 1, 2, 3, 4]
+
+    def test_postorder(self, paper_tree_fp):
+        assert [node.node_id for node in paper_tree_fp.iter_postorder()] == [2, 1, 4, 3, 0]
+
+    def test_structure_export_is_public_only(self, paper_tree_fp):
+        structure = paper_tree_fp.structure()
+        assert structure[0] == (None, (1, 3))
+        assert structure[2] == (1, ())
+
+    def test_unknown_node_rejected(self, paper_tree_fp):
+        with pytest.raises(EncodingError):
+            paper_tree_fp.node(99)
+
+    def test_manual_construction_errors(self, fp_ring):
+        tree = PolynomialTree(fp_ring)
+        tree.add_node(0, None, fp_ring.one, 0)
+        with pytest.raises(EncodingError):
+            tree.add_node(0, None, fp_ring.one, 0)          # duplicate id
+        with pytest.raises(EncodingError):
+            tree.add_node(2, 5, fp_ring.one, 1)             # unknown parent
+        with pytest.raises(EncodingError):
+            tree.add_node(3, None, fp_ring.one, 0)          # second root
+
+    def test_empty_tree_root_rejected(self, fp_ring):
+        with pytest.raises(EncodingError):
+            PolynomialTree(fp_ring).root()
+
+
+class TestEncodingValues:
+    def test_leaf_polynomials_are_linear_factors(self, paper_tree_fp, fp_ring):
+        assert paper_tree_fp.polynomial(2) == fp_ring.from_tag_value(4)
+
+    def test_inner_nodes_multiply_children(self, paper_tree_fp, fp_ring):
+        client = fp_ring.mul(fp_ring.from_tag_value(2), fp_ring.from_tag_value(4))
+        assert paper_tree_fp.polynomial(1) == client
+        root = fp_ring.mul(fp_ring.from_tag_value(3), fp_ring.mul(client, client))
+        assert paper_tree_fp.polynomial(0) == root
+
+    def test_missing_mapping_detected(self, paper_document, fp_ring):
+        with pytest.raises(EncodingError):
+            encode_document(paper_document, TagMapping({"client": 2}), fp_ring)
+
+    def test_encode_element_subtree_only(self, paper_document, paper_mapping, fp_ring):
+        subtree = encode_element(paper_document.root.children[0], paper_mapping, fp_ring)
+        assert len(subtree) == 2
+        assert subtree.polynomial(0) == fp_ring.from_coefficients([3, 4, 1])
+
+    def test_single_node_document(self, fp_ring):
+        document = XmlDocument(XmlElement("only"))
+        tree = encode_document(document, TagMapping({"only": 1}), fp_ring)
+        assert len(tree) == 1
+        assert tree.polynomial(0) == fp_ring.from_tag_value(1)
+
+    def test_wide_and_deep_shapes(self):
+        ring = FpQuotientRing(23)
+        mapping = TagMapping({f"t{i}": i + 1 for i in range(20)})
+        wide = XmlElement("t0")
+        for i in range(1, 15):
+            wide.add(f"t{i}")
+        wide_tree = encode_element(wide, mapping, ring)
+        assert len(wide_tree) == 15
+
+        deep = XmlElement("t0")
+        current = deep
+        for i in range(1, 15):
+            current = current.add(f"t{i}")
+        deep_tree = encode_element(deep, mapping, ring)
+        assert len(deep_tree) == 15
+        # The root polynomial of both shapes contains all 15 roots.
+        for i in range(15):
+            assert ring.evaluate(wide_tree.polynomial(0), i + 1) == 0
+            assert ring.evaluate(deep_tree.polynomial(0), i + 1) == 0
+
+    def test_repeated_tags_multiply_factors(self, fp_ring):
+        # <a><a/></a> with map(a)=2: root = (x-2)^2.
+        root = XmlElement("a")
+        root.add("a")
+        tree = encode_element(root, TagMapping({"a": 2}), fp_ring)
+        expected = fp_ring.mul(fp_ring.from_tag_value(2), fp_ring.from_tag_value(2))
+        assert tree.polynomial(0) == expected
+
+    def test_storage_bits_accumulates(self, paper_tree_fp, fp_ring):
+        per_node = fp_ring.element_storage_bits(fp_ring.one)
+        assert paper_tree_fp.storage_bits() == 5 * per_node
+
+    def test_root_contains_every_descendant_tag(self, catalog_document):
+        from repro.core import choose_fp_ring
+
+        ring = choose_fp_ring(catalog_document)
+        mapping = TagMapping.for_tags(catalog_document.distinct_tags(),
+                                      max_value=ring.p - 2)
+        tree = encode_document(catalog_document, mapping, ring)
+        root_poly = tree.polynomial(0)
+        for tag in catalog_document.distinct_tags():
+            assert ring.evaluate(root_poly, mapping.value(tag)) == 0

@@ -1,0 +1,50 @@
+"""Smoke tests: every bundled example must run to completion.
+
+The examples are part of the public deliverable; running them in-process
+(with a patched ``__main__`` guard) keeps them from silently rotting as the
+library evolves.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+_EXAMPLES = sorted(path.name for path in _EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", _EXAMPLES)
+def test_example_runs_to_completion(example, capsys):
+    runpy.run_path(str(_EXAMPLES_DIR / example), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{example} produced no output"
+
+
+def test_all_expected_examples_present():
+    expected = {
+        "quickstart.py",
+        "paper_figures.py",
+        "outsourced_catalog.py",
+        "advanced_xpath.py",
+        "multi_server.py",
+        "smc_voting.py",
+        "security_audit.py",
+        "updates_and_keywords.py",
+    }
+    assert expected <= set(_EXAMPLES)
+
+
+def test_quickstart_output_mentions_matches(capsys):
+    runpy.run_path(str(_EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "//client matches node ids: [1, 3]" in output
+    assert "Server view" in output
+
+
+def test_paper_figures_output_contains_figure2_values(capsys):
+    runpy.run_path(str(_EXAMPLES_DIR / "paper_figures.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "3x^3 + 3x^2 + 3x + 3" in output
+    assert "265x + 45" in output

@@ -1,0 +1,98 @@
+"""Tests for the prime field F_p."""
+
+import random
+
+import pytest
+
+from repro.algebra import PrimeField
+
+
+class TestConstruction:
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(10)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_skip_check_allows_anything(self):
+        field = PrimeField(9, check_prime=False)
+        assert field.p == 9
+
+
+class TestArithmetic:
+    def test_field_axioms_exhaustive_small_prime(self):
+        field = PrimeField(7)
+        for a in field.elements():
+            assert field.add(a, field.zero) == a
+            assert field.mul(a, field.one) == a
+            assert field.add(a, field.neg(a)) == field.zero
+            for b in field.elements():
+                assert field.add(a, b) == field.add(b, a)
+                assert field.mul(a, b) == field.mul(b, a)
+                for c in field.elements():
+                    assert field.mul(a, field.add(b, c)) == field.add(
+                        field.mul(a, b), field.mul(a, c))
+
+    def test_inverse(self):
+        field = PrimeField(101)
+        for a in range(1, 101):
+            assert field.mul(a, field.invert(a)) == 1
+
+    def test_inverse_of_zero_fails(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(5).invert(0)
+
+    def test_canonicalisation_of_negative_values(self):
+        field = PrimeField(5)
+        assert field.canonical(-1) == 4
+        assert field.sub(1, 3) == 3
+
+    def test_pow(self):
+        field = PrimeField(13)
+        assert field.pow(2, 12) == 1            # Fermat
+        assert field.pow(2, -1) == field.invert(2)
+
+    def test_exact_divide(self):
+        field = PrimeField(7)
+        assert field.exact_divide(6, 3) == 2
+        assert field.exact_divide(1, 0) is None
+
+
+class TestStructure:
+    def test_order_and_elements(self):
+        field = PrimeField(11)
+        assert field.order() == 11
+        assert list(field.elements()) == list(range(11))
+
+    def test_multiplicative_order_divides_group_order(self):
+        field = PrimeField(13)
+        for a in range(1, 13):
+            assert 12 % field.multiplicative_order(a) == 0
+
+    def test_multiplicative_order_of_zero_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(5).multiplicative_order(0)
+
+    def test_primitive_root(self):
+        field = PrimeField(13)
+        g = field.primitive_root()
+        assert field.multiplicative_order(g) == 12
+
+    def test_element_bits(self):
+        assert PrimeField(5).element_bits(3) == 3
+        assert PrimeField(257).element_bits(0) == 9
+
+    def test_equality_and_hash(self):
+        assert PrimeField(5) == PrimeField(5)
+        assert PrimeField(5) != PrimeField(7)
+        assert hash(PrimeField(5)) == hash(PrimeField(5))
+
+    def test_random_elements_in_range(self):
+        field = PrimeField(17)
+        rng = random.Random(1)
+        values = {field.random_element(rng) for _ in range(200)}
+        assert values <= set(range(17))
+        nonzero = {field.random_nonzero(rng) for _ in range(200)}
+        assert 0 not in nonzero

@@ -1,0 +1,110 @@
+"""Tests for the extension field F_{p^e}."""
+
+import random
+
+import pytest
+
+from repro.algebra import ExtensionField, Polynomial, PrimeField, find_irreducible_polynomial
+from repro.algebra.poly import is_irreducible_mod_p
+from repro.errors import AlgebraError
+
+
+class TestIrreduciblePolynomialSearch:
+    def test_found_polynomials_are_irreducible(self):
+        for p, degree in ((2, 3), (3, 2), (5, 2), (7, 3)):
+            modulus = find_irreducible_polynomial(p, degree)
+            assert modulus.degree == degree
+            assert is_irreducible_mod_p(modulus, p)
+
+    def test_degree_one(self):
+        assert find_irreducible_polynomial(5, 1).degree == 1
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            find_irreducible_polynomial(5, 0)
+
+
+class TestConstruction:
+    def test_rejects_composite_characteristic(self):
+        with pytest.raises(ValueError):
+            ExtensionField(4, 2)
+
+    def test_rejects_wrong_modulus_degree(self):
+        modulus = find_irreducible_polynomial(3, 3)
+        with pytest.raises(ValueError):
+            ExtensionField(3, 2, modulus)
+
+    def test_rejects_reducible_modulus(self):
+        reducible = Polynomial([0, 0, 1], PrimeField(3))  # x^2
+        with pytest.raises(AlgebraError):
+            ExtensionField(3, 2, reducible)
+
+    def test_order(self):
+        assert ExtensionField(2, 4).order() == 16
+        assert ExtensionField(3, 2).order() == 9
+
+
+class TestFieldAxioms:
+    def test_gf4_multiplication_table(self):
+        field = ExtensionField(2, 2)
+        elements = list(field.elements())
+        assert len(elements) == 4
+        # Every non-zero element has an inverse and the group is cyclic of order 3.
+        for a in elements:
+            if a == field.zero:
+                continue
+            assert field.mul(a, field.invert(a)) == field.one
+            assert field.pow(a, 3) == field.one
+
+    def test_distributivity_gf9(self):
+        field = ExtensionField(3, 2)
+        elements = list(field.elements())
+        for a in elements[:5]:
+            for b in elements:
+                for c in elements[:5]:
+                    left = field.mul(a, field.add(b, c))
+                    right = field.add(field.mul(a, b), field.mul(a, c))
+                    assert left == right
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            ExtensionField(2, 3).invert((0, 0, 0))
+
+    def test_integers_embed_as_constants(self):
+        field = ExtensionField(5, 2)
+        assert field.canonical(7) == (2, 0)
+        assert field.add(3, 4) == (2, 0)
+
+    def test_frobenius(self):
+        # In F_{p^e}, x -> x^p is an automorphism fixing the prime field.
+        field = ExtensionField(3, 2)
+        for value in range(3):
+            embedded = field.canonical(value)
+            assert field.pow(embedded, 3) == embedded
+
+
+class TestConversions:
+    def test_int_roundtrip(self):
+        field = ExtensionField(3, 3)
+        for value in range(field.order()):
+            assert field.to_int(field.from_int(value)) == value
+
+    def test_random_elements_valid(self):
+        field = ExtensionField(5, 2)
+        rng = random.Random(0)
+        for _ in range(50):
+            element = field.random_element(rng)
+            assert len(element) == 2
+            assert all(0 <= c < 5 for c in element)
+
+    def test_element_bits(self):
+        assert ExtensionField(5, 2).element_bits((1, 1)) == 6
+
+    def test_format(self):
+        field = ExtensionField(5, 2)
+        assert field.format_element((3, 0)) == "3"
+        assert field.format_element((1, 2)) == "(1,2)"
+
+    def test_equality(self):
+        assert ExtensionField(3, 2) == ExtensionField(3, 2)
+        assert ExtensionField(3, 2) != ExtensionField(3, 3)

@@ -1,0 +1,56 @@
+"""Tests for Lagrange interpolation."""
+
+import random
+
+import pytest
+
+from repro.algebra import PrimeField, Polynomial, lagrange_evaluate_at, lagrange_interpolate
+
+
+class TestInterpolation:
+    def test_recovers_polynomial(self):
+        field = PrimeField(101)
+        rng = random.Random(5)
+        for degree in range(0, 6):
+            original = Polynomial.random(degree + 1, field, rng)
+            points = [(x, original.evaluate(x)) for x in range(1, degree + 2)]
+            recovered = lagrange_interpolate(points, field)
+            assert recovered == original
+
+    def test_single_point(self):
+        field = PrimeField(7)
+        assert lagrange_interpolate([(3, 5)], field) == Polynomial([5], field)
+
+    def test_duplicate_x_rejected(self):
+        field = PrimeField(7)
+        with pytest.raises(ValueError):
+            lagrange_interpolate([(1, 2), (1, 3)], field)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate([], PrimeField(7))
+
+    def test_requires_field(self):
+        from repro.algebra import ZZ
+
+        with pytest.raises(TypeError):
+            lagrange_interpolate([(1, 1)], ZZ)
+
+
+class TestEvaluateAt:
+    def test_matches_full_interpolation(self):
+        field = PrimeField(97)
+        rng = random.Random(11)
+        for _ in range(10):
+            original = Polynomial.random(4, field, rng)
+            points = [(x, original.evaluate(x)) for x in (2, 5, 9, 11)]
+            for at in (0, 1, 50):
+                direct = lagrange_evaluate_at(points, at, field)
+                assert direct == original.evaluate(at)
+
+    def test_secret_at_zero(self):
+        # The classic Shamir use: the secret is the value at zero.
+        field = PrimeField(13)
+        secret_poly = Polynomial([secret := 7, 3, 5], field)
+        shares = [(i, secret_poly.evaluate(i)) for i in (1, 4, 6)]
+        assert lagrange_evaluate_at(shares, 0, field) == secret

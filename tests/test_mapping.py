@@ -1,0 +1,108 @@
+"""Tests for the private tag mapping."""
+
+import random
+
+import pytest
+
+from repro.core import TagMapping
+from repro.errors import MappingCapacityError, MappingError, UnknownTagError
+
+
+class TestAssignment:
+    def test_basic_assignment_and_lookup(self):
+        mapping = TagMapping({"a": 1, "b": 2})
+        assert mapping.value("a") == 1
+        assert mapping.tag(2) == "b"
+        assert "a" in mapping and "c" not in mapping
+        assert len(mapping) == 2
+
+    def test_unknown_lookups(self):
+        mapping = TagMapping({"a": 1})
+        with pytest.raises(UnknownTagError):
+            mapping.value("missing")
+        with pytest.raises(UnknownTagError):
+            mapping.tag(9)
+
+    def test_invertibility_enforced(self):
+        mapping = TagMapping({"a": 1})
+        with pytest.raises(MappingError):
+            mapping.assign("b", 1)                     # value reuse
+        with pytest.raises(MappingError):
+            mapping.assign("a", 2)                     # re-mapping a tag
+        mapping.assign("a", 1)                         # idempotent re-assign is fine
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(MappingError):
+            TagMapping({"a": 0})
+        with pytest.raises(MappingError):
+            TagMapping({"a": -3})
+
+    def test_max_value_enforced(self):
+        mapping = TagMapping(max_value=3)
+        mapping.assign("a", 3)
+        with pytest.raises(MappingError):
+            mapping.assign("b", 4)
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(MappingError):
+            TagMapping({"": 1})
+
+
+class TestForTags:
+    def test_sequential_assignment(self):
+        mapping = TagMapping.for_tags(["b", "a", "c"])
+        assert mapping.as_dict() == {"a": 1, "b": 2, "c": 3}
+
+    def test_random_permutation(self):
+        mapping = TagMapping.for_tags(["a", "b", "c"], max_value=10,
+                                      rng=random.Random(1))
+        values = set(mapping.as_dict().values())
+        assert len(values) == 3
+        assert all(1 <= v <= 10 for v in values)
+
+    def test_capacity_check(self):
+        with pytest.raises(MappingCapacityError):
+            TagMapping.for_tags(["a", "b", "c"], max_value=2)
+
+    def test_duplicates_collapse(self):
+        mapping = TagMapping.for_tags(["a", "a", "b"])
+        assert len(mapping) == 2
+
+    def test_paper_figure1b(self):
+        mapping = TagMapping({"client": 2, "customers": 3, "name": 4}, max_value=4)
+        assert mapping.value("client") == 2
+        assert mapping.value("customers") == 3
+        assert mapping.value("name") == 4
+
+
+class TestExtend:
+    def test_fills_free_values(self):
+        mapping = TagMapping({"a": 2})
+        mapping.extend(["b", "c"])
+        values = mapping.as_dict()
+        assert values["a"] == 2
+        assert len(set(values.values())) == 3
+
+    def test_extend_respects_capacity(self):
+        mapping = TagMapping({"a": 1, "b": 2}, max_value=2)
+        with pytest.raises(MappingCapacityError):
+            mapping.extend(["c"])
+
+    def test_extend_is_idempotent(self):
+        mapping = TagMapping({"a": 1})
+        mapping.extend(["a"])
+        assert mapping.as_dict() == {"a": 1}
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        mapping = TagMapping({"a": 3, "b": 7}, max_value=10, strict=True)
+        restored = TagMapping.from_json(mapping.to_json())
+        assert restored.as_dict() == mapping.as_dict()
+        assert restored.max_value == 10
+        assert restored.strict is True
+
+    def test_tags_and_values_sorted(self):
+        mapping = TagMapping({"z": 5, "a": 2})
+        assert mapping.tags() == ["a", "z"]
+        assert mapping.values() == [2, 5]

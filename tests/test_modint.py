@@ -1,0 +1,137 @@
+"""Tests for repro.algebra.modint."""
+
+import pytest
+
+from repro.algebra.modint import (
+    crt,
+    crt_pair,
+    egcd,
+    int_nth_root,
+    is_perfect_power,
+    legendre_symbol,
+    modinv,
+    modpow,
+    tonelli_shanks,
+)
+
+
+class TestEgcd:
+    def test_coprime(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    def test_identity_holds_for_many_pairs(self):
+        for a in range(-20, 21):
+            for b in range(-20, 21):
+                g, x, y = egcd(a, b)
+                assert a * x + b * y == g
+                assert g >= 0
+
+    def test_zero_cases(self):
+        assert egcd(0, 0)[0] == 0
+        assert egcd(0, 7)[0] == 7
+        assert egcd(7, 0)[0] == 7
+
+
+class TestModinv:
+    def test_inverse_property(self):
+        for a in range(1, 17):
+            inv = modinv(a, 17)
+            assert a * inv % 17 == 1
+
+    def test_negative_argument(self):
+        assert (-3) * modinv(-3, 11) % 11 == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ZeroDivisionError):
+            modinv(6, 12)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            modinv(3, 0)
+
+
+class TestModpow:
+    def test_matches_builtin(self):
+        assert modpow(7, 13, 101) == pow(7, 13, 101)
+
+    def test_negative_exponent(self):
+        assert modpow(3, -1, 11) == modinv(3, 11)
+        assert modpow(3, -2, 11) == pow(modinv(3, 11), 2, 11)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            modpow(2, 3, 0)
+
+
+class TestCrt:
+    def test_pair(self):
+        r, m = crt_pair(2, 3, 3, 5)
+        assert m == 15
+        assert r % 3 == 2 and r % 5 == 3
+
+    def test_list(self):
+        r, m = crt([1, 2, 3], [5, 7, 9])
+        assert m == 315
+        assert r % 5 == 1 and r % 7 == 2 and r % 9 == 3
+
+    def test_non_coprime_compatible(self):
+        r, m = crt_pair(2, 4, 4, 6)
+        assert r % 4 == 2 and r % 6 == 4
+
+    def test_non_coprime_incompatible(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 4, 2, 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            crt([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crt([1], [3, 5])
+
+
+class TestRoots:
+    def test_int_nth_root_exact(self):
+        assert int_nth_root(27, 3) == 3
+        assert int_nth_root(10 ** 18, 2) == 10 ** 9
+
+    def test_int_nth_root_floor(self):
+        assert int_nth_root(26, 3) == 2
+        assert int_nth_root(80, 4) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            int_nth_root(-1, 2)
+        with pytest.raises(ValueError):
+            int_nth_root(4, 0)
+
+    def test_perfect_power(self):
+        assert is_perfect_power(64) == (2, 6)
+        assert is_perfect_power(3 ** 5) == (3, 5)
+        assert is_perfect_power(97) == (97, 1)
+        assert is_perfect_power(1) == (1, 1)
+
+
+class TestQuadraticResidues:
+    def test_legendre(self):
+        assert legendre_symbol(4, 7) == 1
+        assert legendre_symbol(3, 7) == -1
+        assert legendre_symbol(0, 7) == 0
+
+    def test_tonelli_shanks_roundtrip(self):
+        p = 101
+        for a in range(1, p):
+            if legendre_symbol(a, p) == 1:
+                root = tonelli_shanks(a, p)
+                assert root * root % p == a
+
+    def test_tonelli_nonresidue_rejected(self):
+        with pytest.raises(ValueError):
+            tonelli_shanks(3, 7)
+
+    def test_tonelli_p_mod_1_branch(self):
+        # p = 13 is 1 mod 4, exercising the general branch.
+        assert tonelli_shanks(4, 13) in (2, 11)

@@ -1,0 +1,112 @@
+"""Tests for the k-out-of-n multi-server query path (§4.2 extension)."""
+
+import pytest
+
+from repro.baselines import PlaintextSearchIndex
+from repro.core import (
+    ThresholdServerGroup,
+    VerificationMode,
+    choose_int_ring,
+    outsource_document_multi_server,
+)
+from repro.errors import QueryError, SharingError, ThresholdError
+from repro.workloads import CatalogConfig, figure1_document, generate_catalog_document
+
+
+@pytest.fixture(scope="module")
+def multi_server_catalog():
+    document = generate_catalog_document(CatalogConfig(customers=5, products=4))
+    client, trees, sharing = outsource_document_multi_server(
+        document, servers=4, threshold=3, seed=b"multi-server")
+    return document, client, trees, sharing
+
+
+class TestOutsourcing:
+    def test_every_server_gets_the_full_structure(self, multi_server_catalog):
+        document, _, trees, _ = multi_server_catalog
+        assert set(trees) == {1, 2, 3, 4}
+        for tree in trees.values():
+            assert tree.node_count() == document.size()
+            assert tree.root_id == 0
+
+    def test_individual_server_shares_differ(self, multi_server_catalog):
+        _, _, trees, _ = multi_server_catalog
+        root_shares = {index: tree.share_of(0) for index, tree in trees.items()}
+        assert len({tuple(share.coeffs) for share in root_shares.values()}) > 1
+
+    def test_int_ring_rejected(self, paper_document):
+        with pytest.raises(SharingError):
+            outsource_document_multi_server(paper_document, servers=3, threshold=2,
+                                            ring=choose_int_ring(2))
+
+    def test_too_many_servers_for_small_prime(self):
+        document = figure1_document()
+        with pytest.raises(ThresholdError):
+            outsource_document_multi_server(document, servers=10, threshold=2,
+                                            seed=b"x", strict=False)
+
+    def test_needs_at_least_one_server(self, paper_document):
+        with pytest.raises(SharingError):
+            outsource_document_multi_server(paper_document, servers=0, threshold=1)
+
+
+class TestQuorumQueries:
+    def test_any_threshold_quorum_answers_correctly(self, multi_server_catalog):
+        document, client, trees, sharing = multi_server_catalog
+        plaintext = PlaintextSearchIndex(document)
+        for online in ([1, 2, 3], [2, 3, 4], [1, 3, 4], [1, 2, 3, 4]):
+            group = ThresholdServerGroup(sharing, trees, online=online)
+            for tag in ("customer", "order", "product"):
+                assert client.lookup(group, tag).matches == plaintext.lookup(tag).matches
+
+    def test_advanced_queries_work_over_the_group(self, multi_server_catalog):
+        document, client, trees, sharing = multi_server_catalog
+        plaintext = PlaintextSearchIndex(document)
+        group = ThresholdServerGroup(sharing, trees, online=[2, 3, 4])
+        for query in ("//customer/order", "//customer//product"):
+            assert client.xpath(group, query).matches == plaintext.query(query).matches
+
+    def test_verification_modes_work_over_the_group(self, multi_server_catalog):
+        document, client, trees, sharing = multi_server_catalog
+        plaintext = PlaintextSearchIndex(document)
+        group = ThresholdServerGroup(sharing, trees)
+        for mode in (VerificationMode.FULL, VerificationMode.NONE):
+            outcome = client.lookup(group, "customer", verification=mode)
+            assert set(plaintext.lookup("customer").matches) <= set(outcome.all_answers())
+
+    def test_per_server_cost_is_tracked(self, multi_server_catalog):
+        _, client, trees, sharing = multi_server_catalog
+        group = ThresholdServerGroup(sharing, trees, online=[1, 2, 3])
+        client.lookup(group, "customer")
+        assert all(count > 0 for count in group.evaluations_per_server.values())
+        assert len(group.evaluations_per_server) == 3
+
+    def test_storage_is_n_times_single_server(self, multi_server_catalog):
+        document, _, trees, sharing = multi_server_catalog
+        group = ThresholdServerGroup(sharing, trees)
+        single = trees[1].storage_bits()
+        assert group.storage_bits() == 4 * single
+
+
+class TestQuorumValidation:
+    def test_too_few_online_servers_rejected(self, multi_server_catalog):
+        _, _, trees, sharing = multi_server_catalog
+        with pytest.raises(ThresholdError):
+            ThresholdServerGroup(sharing, trees, online=[1, 2])
+
+    def test_unknown_server_index_rejected(self, multi_server_catalog):
+        _, _, trees, sharing = multi_server_catalog
+        with pytest.raises(QueryError):
+            ThresholdServerGroup(sharing, trees, online=[1, 2, 9])
+
+    def test_figure1_multi_server_end_to_end(self):
+        from repro.workloads import figure1_mapping
+
+        document = figure1_document()
+        client, trees, sharing = outsource_document_multi_server(
+            document, servers=3, threshold=2, mapping=figure1_mapping(),
+            seed=b"fig-multi", strict=False)
+        group = ThresholdServerGroup(sharing, trees, online=[1, 3])
+        outcome = client.lookup(group, "client")
+        assert outcome.matches == [1, 3]
+        assert set(outcome.pruned_nodes) == {2, 4}

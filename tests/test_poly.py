@@ -1,0 +1,212 @@
+"""Tests for the generic dense polynomial type."""
+
+import random
+
+import pytest
+
+from repro.algebra import Polynomial, PrimeField, ZZ, is_irreducible_mod_p, poly_gcd
+
+
+class TestConstruction:
+    def test_trailing_zeros_are_stripped(self):
+        assert Polynomial([1, 2, 0, 0]).coeffs == (1, 2)
+
+    def test_zero_polynomial(self):
+        zero = Polynomial.zero()
+        assert zero.is_zero()
+        assert zero.degree == -1
+        assert not zero
+
+    def test_constant_and_x(self):
+        assert Polynomial.constant(7).coeffs == (7,)
+        assert Polynomial.x().coeffs == (0, 1)
+
+    def test_monomial(self):
+        assert Polynomial.monomial(3, 5).coeffs == (0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Polynomial.monomial(-1)
+
+    def test_from_roots_expands_product(self):
+        poly = Polynomial.from_roots([2, 4])
+        assert poly.coeffs == (8, -6, 1)          # (x-2)(x-4) = x^2 - 6x + 8
+
+    def test_linear_root(self):
+        assert Polynomial.linear_root(4).coeffs == (-4, 1)
+
+    def test_field_coefficients_reduced(self):
+        field = PrimeField(5)
+        poly = Polynomial([7, -1], field)
+        assert poly.coeffs == (2, 4)
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        a = Polynomial([1, 2, 3])
+        b = Polynomial([4, 5])
+        assert (a + b).coeffs == (5, 7, 3)
+        assert (a - b).coeffs == (-3, -3, 3)
+        assert (a - a).is_zero()
+
+    def test_negation(self):
+        assert (-Polynomial([1, -2])).coeffs == (-1, 2)
+
+    def test_multiplication(self):
+        a = Polynomial([1, 1])                     # x + 1
+        b = Polynomial([-1, 1])                    # x - 1
+        assert (a * b).coeffs == (-1, 0, 1)        # x^2 - 1
+
+    def test_scalar_multiplication(self):
+        assert (Polynomial([1, 2]) * 3).coeffs == (3, 6)
+        assert (3 * Polynomial([1, 2])).coeffs == (3, 6)
+
+    def test_power(self):
+        assert (Polynomial([1, 1]) ** 2).coeffs == (1, 2, 1)
+        assert (Polynomial([1, 1]) ** 0) == Polynomial.one()
+        with pytest.raises(ValueError):
+            Polynomial([1, 1]) ** -1
+
+    def test_mixed_ring_operations_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial([1], PrimeField(5)) + Polynomial([1], ZZ)
+
+    def test_shift(self):
+        assert Polynomial([1, 2]).shift(2).coeffs == (0, 0, 1, 2)
+        with pytest.raises(ValueError):
+            Polynomial([1]).shift(-1)
+
+
+class TestDivision:
+    def test_divmod_over_field(self):
+        field = PrimeField(7)
+        a = Polynomial([3, 0, 1, 2], field)
+        b = Polynomial([1, 1], field)
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_divmod_monic_over_integers(self):
+        a = Polynomial([5, 0, 0, 1])               # x^3 + 5
+        r = a % Polynomial([1, 0, 1])              # mod x^2 + 1
+        assert r.coeffs == (5, -1)                 # x^3 = -x mod x^2+1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial([1]).divmod(Polynomial.zero())
+
+    def test_non_monic_integer_division_fails(self):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial([1, 0, 1]).divmod(Polynomial([1, 2]))
+
+    def test_exhaustive_divmod_small_field(self):
+        field = PrimeField(5)
+        rng = random.Random(0)
+        for _ in range(50):
+            a = Polynomial.random(5, field, rng)
+            b = Polynomial.random(3, field, rng)
+            if b.is_zero():
+                continue
+            q, r = a.divmod(b)
+            assert q * b + r == a
+
+
+class TestEvaluationAndCalculus:
+    def test_evaluate(self):
+        poly = Polynomial([1, 2, 3])               # 1 + 2x + 3x^2
+        assert poly.evaluate(0) == 1
+        assert poly.evaluate(2) == 1 + 4 + 12
+        assert poly(-1) == 1 - 2 + 3
+
+    def test_evaluate_in_field(self):
+        field = PrimeField(5)
+        poly = Polynomial([3, 4, 1], field)        # figure 2(a) 'client'
+        assert poly.evaluate(2) == 0               # (2-2)(2-4) = 0 mod 5
+
+    def test_derivative(self):
+        assert Polynomial([5, 3, 2]).derivative().coeffs == (3, 4)
+        assert Polynomial.constant(7).derivative().is_zero()
+
+    def test_compose(self):
+        outer = Polynomial([0, 0, 1])              # x^2
+        inner = Polynomial([1, 1])                 # x + 1
+        assert outer.compose(inner).coeffs == (1, 2, 1)
+
+    def test_roots_in_field(self):
+        field = PrimeField(5)
+        poly = Polynomial.from_roots([2, 4], field)
+        assert poly.roots_in_field() == [2, 4]
+
+    def test_roots_requires_finite_field(self):
+        with pytest.raises(TypeError):
+            Polynomial([1, 1]).roots_in_field()
+
+
+class TestMisc:
+    def test_coefficient_access(self):
+        poly = Polynomial([1, 2])
+        assert poly.coefficient(5) == 0
+        assert poly.constant_term == 1
+        assert poly.leading_coefficient == 2
+        with pytest.raises(ValueError):
+            poly.coefficient(-1)
+
+    def test_monic_detection(self):
+        assert Polynomial([3, 1]).is_monic()
+        assert not Polynomial([1, 3]).is_monic()
+        assert not Polynomial.zero().is_monic()
+
+    def test_storage_bits_positive(self):
+        assert Polynomial([1, 2, 3]).storage_bits() > 0
+        assert Polynomial.zero().storage_bits() > 0
+
+    def test_map_ring(self):
+        poly = Polynomial([7, -1]).map_ring(PrimeField(5))
+        assert poly.coeffs == (2, 4)
+
+    def test_pretty_printing_matches_paper_style(self):
+        field = PrimeField(5)
+        assert Polynomial([3, 3, 3, 3], field).pretty() == "3x^3 + 3x^2 + 3x + 3"
+        assert Polynomial([45, 265]).pretty() == "265x + 45"
+        assert Polynomial([7, -6]).pretty() == "-6x + 7"
+        assert Polynomial.zero().pretty() == "0"
+        assert Polynomial([0, 1]).pretty() == "x"
+
+    def test_equality_and_hash(self):
+        assert Polynomial([1, 2]) == Polynomial([1, 2])
+        assert Polynomial([1, 2]) != Polynomial([1, 2], PrimeField(5))
+        assert hash(Polynomial([1, 2])) == hash(Polynomial([1, 2]))
+
+    def test_random_respects_degree_bound(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            poly = Polynomial.random(4, PrimeField(7), rng)
+            assert poly.degree < 4
+
+
+class TestGcdAndIrreducibility:
+    def test_gcd_of_products(self):
+        field = PrimeField(7)
+        a = Polynomial.from_roots([1, 2, 3], field)
+        b = Polynomial.from_roots([2, 3, 4], field)
+        gcd = poly_gcd(a, b)
+        assert gcd == Polynomial.from_roots([2, 3], field)
+
+    def test_gcd_requires_field(self):
+        with pytest.raises(TypeError):
+            poly_gcd(Polynomial([1, 1]), Polynomial([1, 1]))
+
+    def test_gcd_with_zero(self):
+        field = PrimeField(5)
+        a = Polynomial([1, 1], field)
+        assert poly_gcd(a, Polynomial.zero(field)) == a
+
+    def test_irreducibility(self):
+        assert is_irreducible_mod_p(Polynomial([1, 0, 1]), 3)       # x^2+1 mod 3
+        assert not is_irreducible_mod_p(Polynomial([1, 0, 1]), 5)   # (x-2)(x-3) mod 5
+        assert is_irreducible_mod_p(Polynomial([1, 1]), 7)          # degree 1
+        assert not is_irreducible_mod_p(Polynomial([4]), 7)         # constants never
+
+    def test_irreducibility_degree_three(self):
+        # x^3 + x + 1 is irreducible over F_2 (no roots, degree 3).
+        assert is_irreducible_mod_p(Polynomial([1, 1, 0, 1]), 2)
+        # x^3 - 1 factors.
+        assert not is_irreducible_mod_p(Polynomial([-1, 0, 0, 1]), 7)

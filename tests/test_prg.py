@@ -1,0 +1,89 @@
+"""Tests for the deterministic PRG used for client shares."""
+
+import random
+
+import pytest
+
+from repro.prg import DeterministicPRG, SeededStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(b"seed", "a", 1) == derive_seed(b"seed", "a", 1)
+
+    def test_label_separation(self):
+        assert derive_seed(b"seed", "a") != derive_seed(b"seed", "b")
+        assert derive_seed(b"seed", "a", "b") != derive_seed(b"seed", "ab")
+        assert derive_seed(b"seed1", "a") != derive_seed(b"seed2", "a")
+
+    def test_accepts_multiple_types(self):
+        assert derive_seed("string-seed", 42, b"bytes")
+        with pytest.raises(TypeError):
+            derive_seed(b"seed", 1.5)
+
+
+class TestSeededStream:
+    def test_reproducible(self):
+        assert SeededStream(b"k").read(100) == SeededStream(b"k").read(100)
+
+    def test_chunking_is_transparent(self):
+        whole = SeededStream(b"k").read(100)
+        stream = SeededStream(b"k")
+        assert stream.read(37) + stream.read(63) == whole
+
+    def test_read_int_bounds(self):
+        stream = SeededStream(b"k")
+        for bits in (1, 8, 13, 64):
+            value = stream.read_int(bits)
+            assert 0 <= value < 2 ** bits
+
+    def test_randint_below_uniform_support(self):
+        stream = SeededStream(b"k")
+        values = {stream.randint_below(5) for _ in range(200)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_randint_inclusive_range(self):
+        stream = SeededStream(b"k")
+        for _ in range(100):
+            assert -3 <= stream.randint(-3, 3) <= 3
+
+    def test_invalid_arguments(self):
+        stream = SeededStream(b"k")
+        with pytest.raises(ValueError):
+            stream.read(-1)
+        with pytest.raises(ValueError):
+            stream.read_int(0)
+        with pytest.raises(ValueError):
+            stream.randint_below(0)
+        with pytest.raises(ValueError):
+            stream.randint(3, 2)
+
+
+class TestDeterministicPRG:
+    def test_streams_are_label_independent(self):
+        prg = DeterministicPRG(b"master")
+        a = prg.stream("node", 1).read(32)
+        b = prg.stream("node", 2).read(32)
+        assert a != b
+        assert a == DeterministicPRG(b"master").stream("node", 1).read(32)
+
+    def test_python_random_reproducible(self):
+        prg = DeterministicPRG(b"master")
+        r1 = prg.python_random("x")
+        r2 = DeterministicPRG(b"master").python_random("x")
+        assert [r1.randrange(100) for _ in range(10)] == [
+            r2.randrange(100) for _ in range(10)]
+
+    def test_child_prg_domain_separated(self):
+        prg = DeterministicPRG(b"master")
+        child = prg.child("sub")
+        assert child.stream("n").read(16) != prg.stream("n").read(16)
+
+    def test_generate_uses_entropy_source(self):
+        entropy = random.Random(7)
+        prg1 = DeterministicPRG.generate(entropy)
+        prg2 = DeterministicPRG.generate(random.Random(7))
+        assert prg1.seed == prg2.seed
+
+    def test_int_seed_supported(self):
+        assert DeterministicPRG(12345).stream("a").read(8)

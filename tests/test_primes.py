@@ -1,0 +1,108 @@
+"""Tests for repro.algebra.primes."""
+
+import random
+
+import pytest
+
+from repro.algebra.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    next_prime,
+    previous_prime,
+    prime_factors,
+    primes_below,
+    random_prime,
+    smallest_prime_at_least,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        known_primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in known_primes)
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_prime(2 ** 61 - 1)          # a Mersenne prime
+        assert not is_prime(2 ** 61 - 3)
+
+    def test_very_large_probabilistic_path(self):
+        # Above the deterministic limit the probabilistic path is used.
+        n = (1 << 90) + 7                       # composite
+        assert not is_prime(n)
+
+
+class TestPrimeGeneration:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(14) == 17
+
+    def test_smallest_prime_at_least(self):
+        assert smallest_prime_at_least(13) == 13
+        assert smallest_prime_at_least(14) == 17
+        assert smallest_prime_at_least(0) == 2
+
+    def test_previous_prime(self):
+        assert previous_prime(13) == 11
+        assert previous_prime(3) == 2
+        with pytest.raises(ValueError):
+            previous_prime(2)
+
+    def test_random_prime_has_requested_bits(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 32):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_random_prime_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+    def test_primes_below(self):
+        assert primes_below(2) == []
+        assert primes_below(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+        assert len(primes_below(1000)) == 168
+
+
+class TestFactorisation:
+    def test_small(self):
+        assert factorize(1) == []
+        assert factorize(12) == [(2, 2), (3, 1)]
+        assert factorize(97) == [(97, 1)]
+
+    def test_product_roundtrip(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            n = rng.randint(2, 10 ** 9)
+            product = 1
+            for p, e in factorize(n):
+                assert is_prime(p)
+                product *= p ** e
+            assert product == n
+
+    def test_prime_factors(self):
+        assert prime_factors(360) == [2, 3, 5]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+
+class TestPrimePowers:
+    def test_recognises_prime_powers(self):
+        assert is_prime_power(5) == (5, 1)
+        assert is_prime_power(8) == (2, 3)
+        assert is_prime_power(3 ** 4) == (3, 4)
+
+    def test_rejects_non_prime_powers(self):
+        assert is_prime_power(12) is None
+        assert is_prime_power(1) is None
+        assert is_prime_power(36) is None

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the algebraic substrate.
+
+These check the ring/field axioms and the paper's core invariants
+(Theorem 1/2 recoverability, additive-sharing correctness) over randomly
+generated inputs rather than hand-picked examples.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    FpQuotientRing,
+    IntQuotientRing,
+    Polynomial,
+    PrimeField,
+    default_int_modulus,
+    lagrange_interpolate,
+)
+from repro.sharing import ShamirScheme, combine_additive, split_additively_n
+
+_PRIMES = [5, 7, 11, 13, 17]
+
+prime_fields = st.sampled_from([PrimeField(p) for p in _PRIMES])
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def field_polynomials(draw, max_degree=6):
+    field = draw(prime_fields)
+    coefficients = draw(st.lists(st.integers(min_value=0, max_value=field.p - 1),
+                                 max_size=max_degree + 1))
+    return Polynomial(coefficients, field)
+
+
+@st.composite
+def same_field_polynomial_pairs(draw, max_degree=6):
+    field = draw(prime_fields)
+    make = lambda: Polynomial(
+        draw(st.lists(st.integers(min_value=0, max_value=field.p - 1),
+                      max_size=max_degree + 1)), field)
+    return make(), make()
+
+
+class TestPolynomialRingAxioms:
+    @given(same_field_polynomial_pairs())
+    def test_addition_commutes(self, pair):
+        a, b = pair
+        assert a + b == b + a
+
+    @given(same_field_polynomial_pairs())
+    def test_multiplication_commutes(self, pair):
+        a, b = pair
+        assert a * b == b * a
+
+    @given(field_polynomials())
+    def test_additive_inverse(self, poly):
+        assert (poly + (-poly)).is_zero()
+
+    @given(field_polynomials())
+    def test_multiplicative_identity(self, poly):
+        assert poly * Polynomial.one(poly.ring) == poly
+
+    @given(same_field_polynomial_pairs(), st.integers(min_value=-50, max_value=50))
+    def test_evaluation_is_a_homomorphism(self, pair, point):
+        a, b = pair
+        field = a.ring
+        point = field.canonical(point)
+        assert (a + b).evaluate(point) == field.add(a.evaluate(point), b.evaluate(point))
+        assert (a * b).evaluate(point) == field.mul(a.evaluate(point), b.evaluate(point))
+
+    @given(same_field_polynomial_pairs())
+    def test_division_invariant(self, pair):
+        a, b = pair
+        if b.is_zero():
+            return
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree or r.is_zero()
+
+    @given(st.lists(st.integers(min_value=0, max_value=16), min_size=1, max_size=6))
+    def test_from_roots_vanishes_exactly_at_roots(self, roots):
+        field = PrimeField(17)
+        poly = Polynomial.from_roots(roots, field)
+        for root in roots:
+            assert poly.evaluate(root) == 0
+        for value in range(17):
+            if value not in roots:
+                assert poly.evaluate(value) != 0
+
+
+class TestQuotientRingProperties:
+    @given(st.sampled_from(_PRIMES), st.data())
+    def test_fp_reduction_preserves_evaluation(self, p, data):
+        """Reducing modulo x^{p-1}-1 never changes evaluations at non-zero points."""
+        ring = FpQuotientRing(p)
+        coefficients = data.draw(st.lists(
+            st.integers(min_value=0, max_value=p - 1), max_size=2 * p))
+        poly = Polynomial(coefficients, ring.field)
+        reduced = ring.reduce(poly)
+        for point in range(1, p):
+            assert poly.evaluate(point) == reduced.evaluate(point)
+
+    @given(st.data())
+    def test_int_reduction_preserves_evaluation_mod_r_of_point(self, data):
+        ring = IntQuotientRing(default_int_modulus(2))
+        coefficients = data.draw(st.lists(small_ints, max_size=6))
+        poly = Polynomial(coefficients)
+        reduced = ring.reduce(poly)
+        for point in (2, 3, 5):
+            modulus = ring.evaluation_modulus(point)
+            assert poly.evaluate(point) % modulus == reduced.evaluate(point) % modulus
+
+    @given(st.sampled_from(_PRIMES), st.data())
+    def test_theorem1_tag_recovery(self, p, data):
+        """Theorem 1: the tag value is uniquely recoverable in F_p[x]/(x^{p-1}-1)."""
+        ring = FpQuotientRing(p)
+        tag = data.draw(st.integers(min_value=1, max_value=p - 2))
+        child_tags = data.draw(st.lists(
+            st.integers(min_value=1, max_value=p - 2), max_size=4))
+        children = [ring.from_tag_value(t) for t in child_tags]
+        node = ring.mul(ring.from_tag_value(tag), ring.product(children))
+        assert ring.recover_tag(node, children) == tag
+
+    @given(st.data())
+    def test_theorem2_tag_recovery(self, data):
+        """Theorem 2: the same in Z[x]/(r(x))."""
+        ring = IntQuotientRing(default_int_modulus(2))
+        tag = data.draw(st.integers(min_value=1, max_value=30))
+        child_tags = data.draw(st.lists(
+            st.integers(min_value=1, max_value=30), max_size=4))
+        children = [ring.from_tag_value(t) for t in child_tags]
+        node = ring.mul(ring.from_tag_value(tag), ring.product(children))
+        assert ring.recover_tag(node, children) == tag
+
+
+class TestSharingProperties:
+    @given(st.sampled_from(_PRIMES), st.integers(min_value=2, max_value=5),
+           st.randoms(use_true_random=False), st.data())
+    def test_additive_sharing_roundtrip(self, p, parties, rng, data):
+        ring = FpQuotientRing(p)
+        coefficients = data.draw(st.lists(
+            st.integers(min_value=0, max_value=p - 1), max_size=p - 1))
+        element = ring.from_coefficients(coefficients)
+        shares = split_additively_n(ring, element, parties, rng)
+        assert combine_additive(ring, shares) == element
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=3),
+           st.randoms(use_true_random=False))
+    def test_shamir_any_threshold_subset_reconstructs(self, secret, threshold, extra, rng):
+        field = PrimeField(101)
+        parties = threshold + extra
+        scheme = ShamirScheme(field, threshold=threshold, parties=parties)
+        shares = scheme.share(secret % 101, rng)
+        subset = rng.sample(shares, threshold)
+        assert scheme.reconstruct(subset) == secret % 101
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=6),
+           st.randoms(use_true_random=False))
+    def test_lagrange_interpolation_degree_bound(self, values, rng):
+        field = PrimeField(101)
+        points = [(i + 1, v % 101) for i, v in enumerate(values)]
+        poly = lagrange_interpolate(points, field)
+        assert poly.degree < len(points)
+        for x, y in points:
+            assert poly.evaluate(x) == y % 101

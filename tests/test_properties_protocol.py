@@ -1,0 +1,82 @@
+"""Property-based tests for the wire protocol and persistence formats."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import FpQuotientRing, IntQuotientRing, default_int_modulus
+from repro.net import decode_message, ring_from_dict, ring_to_dict
+from repro.net.messages import (
+    ChildrenRequest,
+    ChildrenResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    FetchConstantsResponse,
+    FetchPolynomialsResponse,
+    PruneNotice,
+    StructureResponse,
+)
+
+node_id_lists = st.lists(st.integers(min_value=0, max_value=10 ** 6), max_size=30)
+values = st.integers(min_value=-(10 ** 12), max_value=10 ** 12)
+
+
+class TestMessageRoundTrips:
+    @given(node_id_lists, st.integers(min_value=0, max_value=10 ** 6))
+    def test_evaluate_request(self, node_ids, point):
+        message = EvaluateRequest(node_ids, point)
+        decoded = decode_message(message.encode())
+        assert decoded.node_ids == list(node_ids)
+        assert decoded.point == point
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=999), values, max_size=20))
+    def test_evaluate_response(self, mapping):
+        decoded = decode_message(EvaluateResponse(mapping).encode())
+        assert decoded.values == {int(k): int(v) for k, v in mapping.items()}
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=999),
+                           st.lists(values, max_size=8), max_size=10))
+    def test_polynomials_response(self, mapping):
+        decoded = decode_message(FetchPolynomialsResponse(mapping).encode())
+        assert decoded.coefficients == {int(k): [int(c) for c in v]
+                                        for k, v in mapping.items()}
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=999), values, max_size=20))
+    def test_constants_response(self, mapping):
+        decoded = decode_message(FetchConstantsResponse(mapping).encode())
+        assert decoded.constants == {int(k): int(v) for k, v in mapping.items()}
+
+    @given(node_id_lists)
+    def test_prune_and_children_request(self, node_ids):
+        assert decode_message(PruneNotice(node_ids).encode()).node_ids == list(node_ids)
+        assert decode_message(
+            ChildrenRequest(node_ids).encode()).node_ids == list(node_ids)
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=99),
+                           st.lists(st.integers(min_value=0, max_value=99), max_size=6),
+                           max_size=10))
+    def test_children_response(self, mapping):
+        decoded = decode_message(ChildrenResponse(mapping).encode())
+        assert decoded.children == {int(k): list(v) for k, v in mapping.items()}
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=10 ** 6))
+    def test_structure_response(self, root_id, count):
+        decoded = decode_message(StructureResponse(root_id, count).encode())
+        assert (decoded.root_id, decoded.node_count) == (root_id, count)
+
+    @given(node_id_lists, st.integers(min_value=0, max_value=100))
+    def test_byte_size_is_encoding_length(self, node_ids, point):
+        message = EvaluateRequest(node_ids, point)
+        assert message.byte_size() == len(message.encode())
+
+
+class TestRingSerialisation:
+    @given(st.sampled_from([5, 7, 11, 13, 101, 257]))
+    def test_fp_rings_roundtrip(self, p):
+        ring = FpQuotientRing(p)
+        assert ring_from_dict(ring_to_dict(ring)) == ring
+
+    @given(st.sampled_from([2, 3, 4]))
+    def test_int_rings_roundtrip(self, degree):
+        ring = IntQuotientRing(default_int_modulus(degree))
+        assert ring_from_dict(ring_to_dict(ring)) == ring

@@ -1,0 +1,139 @@
+"""Property-based tests for the end-to-end scheme over random documents.
+
+The central invariants:
+
+* encoding is lossless (Theorem 1/2 at tree scale);
+* client/server shares always recombine to the encoding;
+* the encrypted lookup returns exactly the plaintext XPath answer;
+* pruning is sound (no pruned subtree contains an answer).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PlaintextSearchIndex
+from repro.core import (
+    TagMapping,
+    choose_fp_ring,
+    choose_int_ring,
+    decode_tree,
+    encode_document,
+    outsource_document,
+    share_tree,
+)
+from repro.prg import DeterministicPRG
+from repro.xmltree import XmlDocument, XmlElement
+
+_TAGS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+@st.composite
+def xml_documents(draw, max_children=4, max_depth=4, max_nodes=40):
+    """Random small documents over a fixed five-tag vocabulary."""
+    budget = draw(st.integers(min_value=1, max_value=max_nodes))
+    counter = [0]
+
+    def build(depth: int) -> XmlElement:
+        element = XmlElement(draw(st.sampled_from(_TAGS)))
+        counter[0] += 1
+        if depth >= max_depth or counter[0] >= budget:
+            return element
+        for _ in range(draw(st.integers(min_value=0, max_value=max_children))):
+            if counter[0] >= budget:
+                break
+            element.add_child(build(depth + 1))
+        return element
+
+    return XmlDocument(build(0))
+
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestEncodingProperties:
+    @_settings
+    @given(xml_documents())
+    def test_encoding_is_lossless_fp(self, document):
+        ring = choose_fp_ring(document)
+        mapping = TagMapping.for_tags(document.distinct_tags(), max_value=ring.p - 2)
+        tree = encode_document(document, mapping, ring)
+        decoded = decode_tree(tree, mapping)
+        assert [e.tag for e in decoded.iter()] == [e.tag for e in document.iter()]
+
+    @_settings
+    @given(xml_documents(max_nodes=25))
+    def test_encoding_is_lossless_int(self, document):
+        ring = choose_int_ring(2)
+        mapping = TagMapping.for_tags(document.distinct_tags())
+        tree = encode_document(document, mapping, ring)
+        decoded = decode_tree(tree, mapping)
+        assert [e.tag for e in decoded.iter()] == [e.tag for e in document.iter()]
+
+    @_settings
+    @given(xml_documents(), st.binary(min_size=1, max_size=16))
+    def test_shares_always_recombine(self, document, seed):
+        ring = choose_fp_ring(document)
+        mapping = TagMapping.for_tags(document.distinct_tags(), max_value=ring.p - 2)
+        tree = encode_document(document, mapping, ring)
+        client, server = share_tree(tree, DeterministicPRG(seed))
+        for node in tree.iter_preorder():
+            combined = ring.add(client.share_for(node.node_id),
+                                server.share_of(node.node_id))
+            assert combined == node.polynomial
+
+    @_settings
+    @given(xml_documents())
+    def test_root_polynomial_contains_exactly_the_document_tags(self, document):
+        ring = choose_fp_ring(5, strict=True)
+        mapping = TagMapping.for_tags(_TAGS, max_value=ring.p - 2)
+        tree = encode_document(document, mapping, ring)
+        present = set(document.distinct_tags())
+        root = tree.polynomial(0)
+        for tag in _TAGS:
+            is_root_of_poly = ring.evaluate(root, mapping.value(tag)) == 0
+            assert is_root_of_poly == (tag in present)
+
+
+class TestQueryProperties:
+    @_settings
+    @given(xml_documents(), st.sampled_from(_TAGS), st.binary(min_size=1, max_size=8))
+    def test_lookup_equals_plaintext_xpath(self, document, tag, seed):
+        client, server_tree, _ = outsource_document(document, seed=seed)
+        plaintext = PlaintextSearchIndex(document)
+        if tag not in client.mapping:
+            return
+        assert client.lookup(server_tree, tag).matches == plaintext.lookup(tag).matches
+
+    @_settings
+    @given(xml_documents(max_nodes=25), st.sampled_from(_TAGS))
+    def test_lookup_equals_plaintext_xpath_int_ring(self, document, tag):
+        client, server_tree, _ = outsource_document(
+            document, ring=choose_int_ring(2), seed=b"prop-int")
+        plaintext = PlaintextSearchIndex(document)
+        if tag not in client.mapping:
+            return
+        assert client.lookup(server_tree, tag).matches == plaintext.lookup(tag).matches
+
+    @_settings
+    @given(xml_documents(), st.sampled_from(_TAGS))
+    def test_pruning_is_sound(self, document, tag):
+        client, server_tree, tree = outsource_document(document, seed=b"prop-prune")
+        if tag not in client.mapping:
+            return
+        outcome = client.lookup(server_tree, tag)
+        matches = set(PlaintextSearchIndex(document).lookup(tag).matches)
+        for pruned in outcome.pruned_nodes:
+            assert not matches.intersection(tree.subtree_ids(pruned))
+
+    @_settings
+    @given(xml_documents(), st.sampled_from(_TAGS), st.sampled_from(_TAGS))
+    def test_two_step_queries_match_plaintext(self, document, first, second):
+        client, server_tree, _ = outsource_document(document, seed=b"prop-path")
+        query = f"//{first}//{second}"
+        truth = PlaintextSearchIndex(document).query(query).matches
+        if first not in client.mapping or second not in client.mapping:
+            return
+        assert client.xpath(server_tree, query).matches == truth

@@ -1,0 +1,140 @@
+"""Property-based tests for dynamic updates.
+
+A random sequence of inserts, deletes and renames is applied both to the
+outsourced share tree and to a plaintext shadow document; after every step
+the share tree must still decode to the shadow and answer lookups exactly
+like plaintext XPath.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import PlaintextSearchIndex
+from repro.core import (
+    QueryEngine,
+    LocalServerAdapter,
+    TagMapping,
+    UpdatableTree,
+    choose_fp_ring,
+    decode_tree,
+    outsource_document,
+    reconstruct_tree,
+)
+from repro.xmltree import XmlDocument, XmlElement
+
+_TAGS = ["alpha", "beta", "gamma", "delta"]
+_NEW_TAGS = ["omega", "sigma"]
+
+
+def _base_document() -> XmlDocument:
+    root = XmlElement("root")
+    for tag in _TAGS:
+        child = root.add(tag)
+        child.add(random.Random(hash(tag)).choice(_TAGS))
+    return XmlDocument(root)
+
+
+@st.composite
+def edit_scripts(draw):
+    """A short random sequence of edit operations."""
+    operations = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["insert", "delete", "rename"]))
+        operations.append((
+            kind,
+            draw(st.integers(min_value=0, max_value=10 ** 6)),   # target selector
+            draw(st.sampled_from(_TAGS + _NEW_TAGS)),             # tag material
+        ))
+    return operations
+
+
+_settings = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestEditSequences:
+    @_settings
+    @given(edit_scripts())
+    def test_share_tree_tracks_plaintext_shadow(self, script):
+        document = _base_document()
+        ring = choose_fp_ring(len(_TAGS) + len(_NEW_TAGS) + 2)
+        mapping = TagMapping.for_tags(document.distinct_tags(), max_value=ring.p - 2)
+        client, server_tree, _ = outsource_document(
+            document, ring=ring, mapping=mapping, seed=b"prop-edit")
+        editor = UpdatableTree(client.ring, client.mapping, client.share_generator,
+                               server_tree)
+        shadow = document.clone()
+
+        # node-id -> shadow element bookkeeping (ids mirror the scheme's ids as
+        # long as both sides apply the same structural edits).
+        def shadow_elements():
+            return list(shadow.iter())
+
+        for kind, selector, tag in script:
+            ids = server_tree.node_ids()
+            if kind == "insert":
+                parent_id = ids[selector % len(ids)]
+                parent_index = ids.index(parent_id)
+                editor.insert_subtree(parent_id, XmlElement(tag))
+                # Mirror on the shadow: same parent position, appended child.
+                shadow_parent = self._element_for(shadow, server_tree, parent_id,
+                                                  client)
+                shadow_parent.add(tag)
+            elif kind == "delete":
+                # Restrict to leaves so that any element with the same tag path
+                # is interchangeable (the edits are compared as path multisets).
+                deletable = [node_id for node_id in ids
+                             if server_tree.parent_id(node_id) is not None
+                             and not server_tree.child_ids(node_id)]
+                if not deletable:
+                    continue
+                target = deletable[selector % len(deletable)]
+                shadow_target = self._element_for(shadow, server_tree, target, client)
+                editor.delete_subtree(target)
+                shadow_target.detach()
+            else:  # rename
+                leaves = [node_id for node_id in ids
+                          if not server_tree.child_ids(node_id)]
+                if not leaves:
+                    continue
+                target = leaves[selector % len(leaves)]
+                shadow_target = self._element_for(shadow, server_tree, target, client)
+                editor.rename_node(target, tag)
+                shadow_target.tag = tag
+
+            # Invariant 1: the share tree decodes to the shadow document.
+            decoded = decode_tree(
+                reconstruct_tree(client.share_generator, server_tree), client.mapping)
+            assert sorted(e.tag for e in decoded.iter()) == \
+                sorted(e.tag for e in shadow.iter())
+
+        # Invariant 2: lookups agree with plaintext XPath on the shadow.
+        plaintext = PlaintextSearchIndex(shadow)
+        engine = QueryEngine(client.ring, client.mapping, client.share_generator,
+                             LocalServerAdapter(server_tree))
+        for tag in shadow.distinct_tags():
+            scheme_paths = sorted(
+                client.tag_path_of(server_tree, node_id)
+                for node_id in engine.lookup(tag).matches)
+            plaintext_paths = sorted(
+                element.tag_path()
+                for element in shadow.iter() if element.tag == tag)
+            assert scheme_paths == plaintext_paths
+
+    @staticmethod
+    def _element_for(shadow: XmlDocument, server_tree, node_id: int, client):
+        """Locate the shadow element corresponding to a share-tree node.
+
+        The correspondence is by tag path *occurrence order*: both sides list
+        nodes with the same tag path in document order, and the k-th share
+        node with a given path maps to the k-th shadow element with it.
+        """
+        target_path = client.tag_path_of(server_tree, node_id)
+        same_path_ids = [other for other in server_tree.node_ids()
+                         if client.tag_path_of(server_tree, other) == target_path]
+        occurrence = same_path_ids.index(node_id)
+        candidates = [element for element in shadow.iter()
+                      if element.tag_path() == target_path]
+        return candidates[occurrence]

@@ -1,0 +1,189 @@
+"""Tests for the element-lookup protocol (§4.3): pruning, soundness,
+completeness and verification modes."""
+
+import pytest
+
+from repro.baselines import PlaintextSearchIndex
+from repro.core import (
+    LocalServerAdapter,
+    QueryEngine,
+    QueryStats,
+    TagMapping,
+    VerificationMode,
+    choose_fp_ring,
+    choose_int_ring,
+    encode_document,
+    outsource_document,
+    share_tree,
+)
+from repro.errors import UnknownTagError, VerificationError
+from repro.prg import DeterministicPRG
+from repro.workloads import (
+    RandomXmlConfig,
+    figure1_document,
+    figure1_mapping,
+    generate_random_document,
+)
+
+
+@pytest.fixture(params=["fp", "int"])
+def paper_setup(request, paper_document, paper_mapping):
+    ring = choose_fp_ring(3, strict=False) if request.param == "fp" else choose_int_ring(2)
+    client, server_tree, tree = outsource_document(
+        paper_document, ring=ring, mapping=figure1_mapping(), seed=b"lookup-seed",
+        strict=False)
+    return client, server_tree, tree
+
+
+class TestElementLookup:
+    def test_paper_query_client(self, paper_setup):
+        client, server_tree, _ = paper_setup
+        outcome = client.lookup(server_tree, "client")
+        assert outcome.matches == [1, 3]
+        assert set(outcome.zero_nodes) == {0, 1, 3}
+        assert set(outcome.pruned_nodes) == {2, 4}
+
+    def test_paper_query_name_leaves(self, paper_setup):
+        client, server_tree, _ = paper_setup
+        outcome = client.lookup(server_tree, "name")
+        assert outcome.matches == [2, 4]
+        # The whole tree is alive for 'name' descent (all ancestors contain it).
+        assert outcome.pruned_nodes == []
+
+    def test_paper_query_root(self, paper_setup):
+        client, server_tree, _ = paper_setup
+        outcome = client.lookup(server_tree, "customers")
+        assert outcome.matches == [0]
+        # The root is zero, its children are not, so they are pruned.
+        assert set(outcome.pruned_nodes) == {1, 3}
+
+    def test_unknown_tag_rejected(self, paper_setup):
+        client, server_tree, _ = paper_setup
+        with pytest.raises(UnknownTagError):
+            client.lookup(server_tree, "nonexistent")
+
+    def test_matches_agree_with_plaintext_on_catalog(self, outsourced_catalog,
+                                                     catalog_document):
+        client, server_tree, _ = outsourced_catalog
+        plaintext = PlaintextSearchIndex(catalog_document)
+        for tag in catalog_document.distinct_tags():
+            assert client.lookup(server_tree, tag).matches == plaintext.lookup(tag).matches
+
+    def test_pruning_never_visits_subtrees_without_matches(self, outsourced_catalog,
+                                                           catalog_document):
+        client, server_tree, tree = outsourced_catalog
+        plaintext = PlaintextSearchIndex(catalog_document)
+        for tag in ["order", "balance", "warehouse"]:
+            outcome = client.lookup(server_tree, tag)
+            matches = set(plaintext.lookup(tag).matches)
+            # Soundness of pruning: no pruned node's subtree contains a match.
+            for pruned in outcome.pruned_nodes:
+                assert not matches.intersection(tree.subtree_ids(pruned))
+            # The search touched at most the live region plus one pruned layer.
+            assert outcome.stats.nodes_evaluated <= catalog_document.size()
+
+    def test_selective_queries_touch_less_of_the_tree(self, outsourced_catalog,
+                                                      catalog_document):
+        client, server_tree, _ = outsourced_catalog
+        rare = client.lookup(server_tree, "location")        # only in warehouses
+        common = client.lookup(server_tree, "product")       # everywhere
+        assert rare.stats.nodes_evaluated < common.stats.nodes_evaluated
+        assert rare.stats.nodes_evaluated < catalog_document.size()
+
+    def test_stats_accounting_consistency(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        outcome = client.lookup(server_tree, "customer")
+        stats = outcome.stats
+        assert stats.points_sent == 1
+        assert stats.nodes_evaluated > 0
+        assert stats.round_trips > 0
+        assert stats.evaluations >= stats.nodes_evaluated
+        merged = QueryStats().merge(stats).merge(stats)
+        assert merged.evaluations == 2 * stats.evaluations
+        assert "nodes_evaluated" in stats.as_dict()
+
+
+class TestVerificationModes:
+    def test_full_verification_confirms_nested_candidates(self):
+        # <a><a><b/></a></a>: querying 'a' yields nested zero nodes that need
+        # Theorem-1 verification to classify.
+        from repro.xmltree import parse_document
+
+        document = parse_document("<a><a><b/></a><c/></a>")
+        client, server_tree, _ = outsource_document(
+            document, seed=b"nested", verification=VerificationMode.FULL)
+        outcome = client.lookup(server_tree, "a")
+        assert outcome.matches == [0, 1]
+        assert outcome.unverified_candidates == []
+
+    def test_none_mode_reports_candidates(self):
+        from repro.xmltree import parse_document
+
+        document = parse_document("<a><a><b/></a><c/></a>")
+        client, server_tree, _ = outsource_document(document, seed=b"nested")
+        outcome = client.lookup(server_tree, "a", verification=VerificationMode.NONE)
+        # The deepest zero (node 1) is exact in F_p; its ancestor stays a candidate.
+        assert 1 in outcome.matches
+        assert 0 in outcome.unverified_candidates
+        assert sorted(outcome.all_answers()) == [0, 1]
+
+    def test_constant_only_mode_never_misses_answers(self, paper_document):
+        """Trusted-server mode may over-report (unverified candidates) but its
+        confirmed matches are correct and no true answer is lost."""
+        client, server_tree, _ = outsource_document(
+            paper_document, mapping=figure1_mapping(), seed=b"const", strict=False)
+        for tag in ("client", "customers", "name"):
+            outcome = client.lookup(server_tree, tag,
+                                    verification=VerificationMode.CONSTANT_ONLY)
+            truth = set(PlaintextSearchIndex(paper_document).lookup(tag).matches)
+            assert truth <= set(outcome.all_answers())
+            assert set(outcome.matches) <= truth
+
+    def test_constant_only_transfers_fewer_coefficients(self, outsourced_catalog):
+        client, server_tree, _ = outsourced_catalog
+        full = client.lookup(server_tree, "customer",
+                             verification=VerificationMode.FULL)
+        constant = client.lookup(server_tree, "customer",
+                                 verification=VerificationMode.CONSTANT_ONLY)
+        assert constant.stats.polynomials_fetched == 0
+        assert full.stats.polynomials_fetched > 0
+
+    def test_malicious_server_detected_by_full_verification(self, paper_document):
+        """A server that corrupts a share polynomial cannot slip a wrong
+        answer past FULL verification."""
+        ring = choose_fp_ring(3, strict=False)
+        mapping = figure1_mapping()
+        tree = encode_document(paper_document, mapping, ring)
+        prg = DeterministicPRG(b"tamper")
+        client_gen, server_tree = share_tree(tree, prg)
+        # Corrupt the root share with a polynomial that still vanishes at the
+        # query point x=2 (so the branch is not simply pruned) but breaks the
+        # encoding invariant f = (x - t) * prod(children).
+        server_tree.shares[0] = ring.add(server_tree.shares[0],
+                                         ring.from_tag_value(2))
+        engine = QueryEngine(ring, mapping, client_gen,
+                             LocalServerAdapter(server_tree),
+                             VerificationMode.FULL)
+        with pytest.raises(VerificationError):
+            engine.lookup("client")
+
+
+class TestLookupAcrossRandomDocuments:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fp_ring_matches_ground_truth(self, seed):
+        document = generate_random_document(
+            RandomXmlConfig(element_count=50, tag_vocabulary_size=7, seed=seed))
+        client, server_tree, _ = outsource_document(document, seed=b"rand")
+        plaintext = PlaintextSearchIndex(document)
+        for tag in document.distinct_tags():
+            assert client.lookup(server_tree, tag).matches == plaintext.lookup(tag).matches
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_int_ring_matches_ground_truth(self, seed):
+        document = generate_random_document(
+            RandomXmlConfig(element_count=35, tag_vocabulary_size=6, seed=seed + 50))
+        client, server_tree, _ = outsource_document(
+            document, ring=choose_int_ring(2), seed=b"rand-int")
+        plaintext = PlaintextSearchIndex(document)
+        for tag in document.distinct_tags():
+            assert client.lookup(server_tree, tag).matches == plaintext.lookup(tag).matches

@@ -1,0 +1,206 @@
+"""Tests for the two encoding rings of the paper (§4.1).
+
+Covers reduction, arithmetic, evaluation semantics, the exact lemma/theorem
+statements (Lemma 1, Theorems 1 and 2) and the tag-recovery machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    FpQuotientRing,
+    IntQuotientRing,
+    Polynomial,
+    PrimeField,
+    ZZ,
+    default_int_modulus,
+)
+from repro.errors import AlgebraError, TagRecoveryError
+
+
+class TestFpQuotientReduction:
+    def test_degree_bound(self):
+        ring = FpQuotientRing(5)
+        assert ring.degree_bound == 4
+
+    def test_exponent_folding(self):
+        ring = FpQuotientRing(5)
+        # x^4 == 1, x^5 == x, x^6 == x^2 in F_5[x]/(x^4 - 1).
+        assert ring.reduce(Polynomial.monomial(4, ring=ring.field)) == ring.one
+        assert ring.reduce(Polynomial.monomial(5, ring=ring.field)) == ring.reduce(
+            Polynomial.x(ring.field))
+        assert ring.reduce(Polynomial.monomial(8, ring=ring.field)) == ring.one
+
+    def test_lemma_1(self):
+        """Lemma 1: prod_{i=1}^{p-1} (x - i) == x^{p-1} - 1 (mod p)."""
+        for p in (3, 5, 7, 11):
+            field = PrimeField(p)
+            product = Polynomial.from_roots(list(range(1, p)), field)
+            expected = Polynomial([-1] + [0] * (p - 2) + [1], field)
+            assert product == expected
+
+    def test_paper_figure2a_product(self):
+        """((x-2)(x-4))^2 (x-3) reduces to 3x^3+3x^2+3x+3 in F_5[x]/(x^4-1)."""
+        ring = FpQuotientRing(5)
+        client = ring.mul(ring.from_tag_value(2), ring.from_tag_value(4))
+        root = ring.mul(ring.from_tag_value(3), ring.mul(client, client))
+        assert root == ring.from_coefficients([3, 3, 3, 3])
+        assert client == ring.from_coefficients([3, 4, 1])
+
+    def test_evaluation_is_mod_p(self):
+        ring = FpQuotientRing(5)
+        element = ring.from_coefficients([3, 4, 1])      # (x-2)(x-4)
+        assert ring.evaluate(element, 2) == 0
+        assert ring.evaluate(element, 3) == (3 + 12 + 9) % 5
+        assert ring.evaluation_is_zero(ring.evaluate(element, 2), 2)
+
+    def test_random_element_in_canonical_form(self):
+        ring = FpQuotientRing(7)
+        rng = random.Random(0)
+        for _ in range(20):
+            element = ring.random_element(rng)
+            assert element.degree < ring.degree_bound
+            assert all(0 <= c < 7 for c in element.coeffs)
+
+    def test_storage_bits_formula_shape(self):
+        ring = FpQuotientRing(5)
+        # Every element costs (p-1) * ceil(log2 p) bits regardless of content.
+        assert ring.element_storage_bits(ring.one) == 4 * 3
+        assert ring.element_storage_bits(ring.zero) == 4 * 3
+
+    def test_modulus_polynomial(self):
+        ring = FpQuotientRing(5)
+        assert ring.modulus_polynomial().coeffs == (4, 0, 0, 0, 1)
+
+    def test_equality(self):
+        assert FpQuotientRing(5) == FpQuotientRing(5)
+        assert FpQuotientRing(5) != FpQuotientRing(7)
+
+
+class TestIntQuotientRing:
+    def test_requires_monic(self):
+        with pytest.raises(AlgebraError):
+            IntQuotientRing(Polynomial([1, 0, 2]))
+
+    def test_requires_irreducible(self):
+        with pytest.raises(AlgebraError):
+            IntQuotientRing(Polynomial([-1, 0, 1]))      # x^2 - 1 = (x-1)(x+1)
+
+    def test_accepts_x_squared_plus_one(self):
+        ring = IntQuotientRing(Polynomial([1, 0, 1]))
+        assert ring.degree_bound == 2
+
+    def test_reduction(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        # x^2 == -1, so x^3 == -x.
+        assert ring.reduce(Polynomial([0, 0, 1])) == Polynomial([-1], ZZ)
+        assert ring.reduce(Polynomial([0, 0, 0, 1])) == Polynomial([0, -1], ZZ)
+
+    def test_paper_figure2b_values(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        client = ring.mul(ring.from_tag_value(2), ring.from_tag_value(4))
+        assert client == Polynomial([7, -6], ZZ)
+        root = ring.mul(ring.from_tag_value(3), ring.mul(client, client))
+        assert root == Polynomial([45, 265], ZZ)
+
+    def test_evaluation_modulo_r_of_point(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        assert ring.evaluation_modulus(2) == 5            # r(2) = 2^2 + 1
+        root = Polynomial([45, 265], ZZ)
+        assert ring.evaluate(root, 2) == (265 * 2 + 45) % 5 == 0
+
+    def test_degenerate_evaluation_point_rejected(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        with pytest.raises(AlgebraError):
+            ring.evaluation_modulus(0)                     # r(0) = 1
+
+    def test_storage_grows_with_coefficients(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        small = ring.from_coefficients([1, 1])
+        large = ring.from_coefficients([10 ** 12, 10 ** 12])
+        assert ring.element_storage_bits(large) > ring.element_storage_bits(small)
+
+    def test_equality(self):
+        assert IntQuotientRing(default_int_modulus(2)) == IntQuotientRing(
+            default_int_modulus(2))
+
+
+class TestDefaultIntModulus:
+    def test_degree_two_is_paper_choice(self):
+        assert default_int_modulus(2) == Polynomial([1, 0, 1], ZZ)
+
+    def test_higher_degrees_accepted_by_ring(self):
+        for degree in (3, 4, 5):
+            ring = IntQuotientRing(default_int_modulus(degree))
+            assert ring.degree_bound == degree
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            default_int_modulus(0)
+
+
+class TestTagRecovery:
+    """Theorem 1 and Theorem 2: the mapped value is uniquely recoverable."""
+
+    @pytest.mark.parametrize("ring_factory", [
+        lambda: FpQuotientRing(11),
+        lambda: IntQuotientRing(default_int_modulus(2)),
+        lambda: IntQuotientRing(default_int_modulus(3)),
+    ])
+    def test_recover_leaf(self, ring_factory):
+        ring = ring_factory()
+        for value in range(1, 8):
+            element = ring.from_tag_value(value)
+            assert ring.recover_tag(element, []) == value
+
+    @pytest.mark.parametrize("ring_factory", [
+        lambda: FpQuotientRing(11),
+        lambda: IntQuotientRing(default_int_modulus(2)),
+    ])
+    def test_recover_inner_node(self, ring_factory):
+        ring = ring_factory()
+        children = [ring.from_tag_value(2), ring.from_tag_value(4),
+                    ring.mul(ring.from_tag_value(3), ring.from_tag_value(5))]
+        for value in (1, 6, 7):
+            node = ring.mul(ring.from_tag_value(value), ring.product(children))
+            assert ring.recover_tag(node, children) == value
+
+    def test_recover_paper_example(self):
+        ring = FpQuotientRing(5)
+        client = ring.from_coefficients([3, 4, 1])
+        root = ring.from_coefficients([3, 3, 3, 3])
+        assert ring.recover_tag(root, [client, client]) == 3
+        assert ring.recover_tag(client, [ring.from_tag_value(4)]) == 2
+
+    def test_recover_paper_example_int_ring(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        client = ring.from_coefficients([7, -6])
+        root = ring.from_coefficients([45, 265])
+        assert ring.recover_tag(root, [client, client]) == 3
+
+    def test_inconsistent_node_rejected(self):
+        ring = FpQuotientRing(11)
+        children = [ring.from_tag_value(2)]
+        bogus = ring.add(ring.mul(ring.from_tag_value(3), children[0]), ring.one)
+        with pytest.raises(TagRecoveryError):
+            ring.recover_tag(bogus, children)
+
+    def test_verify_tag(self):
+        ring = FpQuotientRing(7)
+        children = [ring.from_tag_value(2)]
+        node = ring.mul(ring.from_tag_value(5), children[0])
+        assert ring.verify_tag(node, children, 5)
+        assert not ring.verify_tag(node, children, 3)
+
+    def test_consistency_equations_agree(self):
+        ring = FpQuotientRing(11)
+        children = [ring.from_tag_value(2), ring.from_tag_value(7)]
+        node = ring.mul(ring.from_tag_value(4), ring.product(children))
+        equations = ring.consistency_check(node, children)
+        solutions = set()
+        for numerator, denominator in equations:
+            if denominator == 0:
+                continue
+            solutions.add(numerator * pow(denominator, -1, 11) % 11)
+        assert solutions == {4}

@@ -1,0 +1,80 @@
+"""Tests for tag recovery / decoding (Theorems 1 and 2)."""
+
+import pytest
+
+from repro.core import (
+    TagMapping,
+    decode_tree,
+    encode_document,
+    recover_all_tag_values,
+    recover_tag_value,
+    verify_node_claim,
+)
+from repro.core.encoder import PolynomialTree
+from repro.errors import TagRecoveryError, VerificationError
+from repro.workloads import generate_catalog_document, generate_random_document
+from repro.workloads.random_xml import RandomXmlConfig
+
+
+class TestRecovery:
+    def test_paper_example_values(self, paper_tree_fp):
+        values = recover_all_tag_values(paper_tree_fp)
+        assert values == {0: 3, 1: 2, 2: 4, 3: 2, 4: 4}
+
+    def test_paper_example_values_int_ring(self, paper_tree_int):
+        values = recover_all_tag_values(paper_tree_int)
+        assert values == {0: 3, 1: 2, 2: 4, 3: 2, 4: 4}
+
+    def test_single_node(self, paper_tree_fp):
+        assert recover_tag_value(paper_tree_fp, 2) == 4
+
+    def test_decoding_rebuilds_document_structure(self, paper_document, paper_mapping,
+                                                  paper_tree_fp):
+        decoded = decode_tree(paper_tree_fp, paper_mapping)
+        assert [e.tag for e in decoded.iter()] == [e.tag for e in paper_document.iter()]
+        assert decoded.size() == paper_document.size()
+
+    def test_decoding_empty_tree_rejected(self, fp_ring, paper_mapping):
+        with pytest.raises(TagRecoveryError):
+            decode_tree(PolynomialTree(fp_ring), paper_mapping)
+
+    @pytest.mark.parametrize("ring_name", ["fp", "int"])
+    def test_losslessness_on_larger_documents(self, ring_name):
+        from repro.core import choose_fp_ring, choose_int_ring
+
+        document = generate_random_document(
+            RandomXmlConfig(element_count=60, tag_vocabulary_size=8, seed=17))
+        if ring_name == "fp":
+            ring = choose_fp_ring(document)
+        else:
+            ring = choose_int_ring(2)
+        mapping = TagMapping.for_tags(document.distinct_tags(),
+                                      max_value=None if ring_name == "int" else ring.p - 2)
+        tree = encode_document(document, mapping, ring)
+        decoded = decode_tree(tree, mapping)
+        assert [e.tag for e in decoded.iter()] == [e.tag for e in document.iter()]
+
+    def test_losslessness_catalog(self):
+        from repro.core import choose_fp_ring
+
+        document = generate_catalog_document()
+        ring = choose_fp_ring(document)
+        mapping = TagMapping.for_tags(document.distinct_tags(), max_value=ring.p - 2)
+        tree = encode_document(document, mapping, ring)
+        assert [e.tag for e in decode_tree(tree, mapping).iter()] == [
+            e.tag for e in document.iter()]
+
+
+class TestVerification:
+    def test_correct_claim_accepted(self, paper_tree_fp, fp_ring):
+        node = paper_tree_fp.node(1)
+        children = [c.polynomial for c in paper_tree_fp.children(1)]
+        assert verify_node_claim(fp_ring, node.polynomial, children, 2)
+        assert not verify_node_claim(fp_ring, node.polynomial, children, 3)
+
+    def test_tampered_polynomial_detected(self, paper_tree_fp, fp_ring):
+        node = paper_tree_fp.node(1)
+        children = [c.polynomial for c in paper_tree_fp.children(1)]
+        tampered = fp_ring.add(node.polynomial, fp_ring.one)
+        with pytest.raises(VerificationError):
+            verify_node_claim(fp_ring, tampered, children, 2)

@@ -1,0 +1,113 @@
+"""Tests for splitting the polynomial tree into client and server shares (§4.2)."""
+
+import pytest
+
+from repro.core import (
+    ClientShareGenerator,
+    ServerShareTree,
+    reconstruct_tree,
+    share_tree,
+)
+from repro.errors import SharingError
+from repro.prg import DeterministicPRG
+
+
+class TestSplitting:
+    def test_shares_sum_to_original(self, paper_tree_fp, prg):
+        client, server = share_tree(paper_tree_fp, prg)
+        ring = paper_tree_fp.ring
+        for node in paper_tree_fp.iter_preorder():
+            total = ring.add(client.share_for(node.node_id),
+                             server.share_of(node.node_id))
+            assert total == node.polynomial
+
+    def test_shares_sum_to_original_int_ring(self, paper_tree_int, prg):
+        client, server = share_tree(paper_tree_int, prg)
+        ring = paper_tree_int.ring
+        for node in paper_tree_int.iter_preorder():
+            total = ring.add(client.share_for(node.node_id),
+                             server.share_of(node.node_id))
+            assert total == node.polynomial
+
+    def test_client_shares_regenerable_from_seed_only(self, paper_tree_fp):
+        _, server = share_tree(paper_tree_fp, DeterministicPRG(b"the-seed"))
+        # A fresh generator built from the same seed produces the same shares.
+        regenerated = ClientShareGenerator(paper_tree_fp.ring,
+                                           DeterministicPRG(b"the-seed"))
+        for node in paper_tree_fp.iter_preorder():
+            total = paper_tree_fp.ring.add(regenerated.share_for(node.node_id),
+                                           server.share_of(node.node_id))
+            assert total == node.polynomial
+
+    def test_different_seeds_give_different_server_trees(self, paper_tree_fp):
+        _, server_a = share_tree(paper_tree_fp, DeterministicPRG(b"seed-a"))
+        _, server_b = share_tree(paper_tree_fp, DeterministicPRG(b"seed-b"))
+        different = any(server_a.share_of(i) != server_b.share_of(i)
+                        for i in server_a.node_ids())
+        assert different
+
+    def test_client_share_deterministic_per_node(self, paper_tree_fp, prg):
+        client, _ = share_tree(paper_tree_fp, prg)
+        assert client.share_for(3) == client.share_for(3)
+        assert client.shares_for([0, 1]) == {0: client.share_for(0),
+                                             1: client.share_for(1)}
+
+    def test_client_evaluate_matches_polynomial_evaluation(self, paper_tree_fp, prg):
+        client, _ = share_tree(paper_tree_fp, prg)
+        ring = paper_tree_fp.ring
+        assert client.evaluate(0, 2) == ring.evaluate(client.share_for(0), 2)
+
+
+class TestServerShareTree:
+    def test_structure_queries(self, paper_tree_fp, prg):
+        _, server = share_tree(paper_tree_fp, prg)
+        assert server.root_id == 0
+        assert server.node_count() == 5
+        assert server.child_ids(0) == [1, 3]
+        assert server.parent_id(2) == 1
+        assert server.parent_id(0) is None
+        assert server.depth_of(4) == 2
+        assert len(server) == 5
+
+    def test_unknown_nodes_rejected(self, paper_tree_fp, prg):
+        _, server = share_tree(paper_tree_fp, prg)
+        with pytest.raises(SharingError):
+            server.share_of(99)
+        with pytest.raises(SharingError):
+            server.child_ids(99)
+        with pytest.raises(SharingError):
+            server.parent_id(99)
+
+    def test_manual_construction_errors(self, fp_ring):
+        tree = ServerShareTree(fp_ring)
+        tree.add_node(0, None, fp_ring.one)
+        with pytest.raises(SharingError):
+            tree.add_node(0, None, fp_ring.one)
+        with pytest.raises(SharingError):
+            tree.add_node(5, 3, fp_ring.one)
+        with pytest.raises(SharingError):
+            tree.add_node(6, None, fp_ring.one)
+
+    def test_storage_bits_positive(self, paper_tree_fp, prg):
+        _, server = share_tree(paper_tree_fp, prg)
+        assert server.storage_bits() > 0
+
+    def test_evaluate_uses_ring_semantics(self, paper_tree_int, prg):
+        _, server = share_tree(paper_tree_int, prg)
+        value = server.evaluate(0, 2)
+        assert 0 <= value < paper_tree_int.ring.evaluation_modulus(2)
+
+
+class TestReconstruction:
+    def test_roundtrip(self, paper_tree_fp, prg):
+        client, server = share_tree(paper_tree_fp, prg)
+        rebuilt = reconstruct_tree(client, server)
+        for node in paper_tree_fp.iter_preorder():
+            assert rebuilt.polynomial(node.node_id) == node.polynomial
+            assert rebuilt.node(node.node_id).parent_id == node.parent_id
+
+    def test_roundtrip_int_ring(self, paper_tree_int, prg):
+        client, server = share_tree(paper_tree_int, prg)
+        rebuilt = reconstruct_tree(client, server)
+        for node in paper_tree_int.iter_preorder():
+            assert rebuilt.polynomial(node.node_id) == node.polynomial

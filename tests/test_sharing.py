@@ -1,0 +1,229 @@
+"""Tests for the secret-sharing substrate (additive, Shamir, multi-server)."""
+
+import random
+
+import pytest
+
+from repro.algebra import FpQuotientRing, IntQuotientRing, PrimeField, default_int_modulus
+from repro.errors import SharingError, ThresholdError
+from repro.sharing import (
+    AdditiveMultiServerSharing,
+    ShamirScheme,
+    ShamirShare,
+    ThresholdPolynomialSharing,
+    combine_additive,
+    split_additively,
+    split_additively_n,
+)
+
+
+class TestAdditiveSharing:
+    @pytest.mark.parametrize("ring_factory", [
+        lambda: FpQuotientRing(5),
+        lambda: FpQuotientRing(13),
+        lambda: IntQuotientRing(default_int_modulus(2)),
+    ])
+    def test_two_party_roundtrip(self, ring_factory, rng):
+        ring = ring_factory()
+        for value in range(1, 4):
+            element = ring.mul(ring.from_tag_value(value), ring.from_tag_value(value + 1))
+            client, server = split_additively(ring, element, rng)
+            assert ring.add(client, server) == element
+
+    def test_shares_differ_from_secret(self, rng):
+        ring = FpQuotientRing(101)
+        element = ring.from_tag_value(7)
+        client, server = split_additively(ring, element, rng)
+        # With overwhelming probability a random share is not the secret itself.
+        assert client != element or server != element
+
+    def test_n_party_roundtrip(self, rng):
+        ring = FpQuotientRing(7)
+        element = ring.from_tag_value(3)
+        for parties in (2, 3, 5):
+            shares = split_additively_n(ring, element, parties, rng)
+            assert len(shares) == parties
+            assert combine_additive(ring, shares) == element
+
+    def test_n_party_requires_two(self, rng):
+        with pytest.raises(SharingError):
+            split_additively_n(FpQuotientRing(5), FpQuotientRing(5).one, 1, rng)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(SharingError):
+            combine_additive(FpQuotientRing(5), [])
+
+    def test_sharing_is_hiding_per_node(self, rng):
+        """Two different secrets produce identically-distributed server shares
+        when the client share is fixed randomness (one-time-pad argument)."""
+        ring = FpQuotientRing(11)
+        secret_a = ring.from_tag_value(2)
+        secret_b = ring.from_tag_value(9)
+        # Same client randomness, different secrets: server shares differ by
+        # exactly the difference of the secrets, i.e. they are both uniform.
+        client = ring.random_element(rng)
+        server_a = ring.sub(secret_a, client)
+        server_b = ring.sub(secret_b, client)
+        assert ring.sub(server_a, server_b) == ring.sub(secret_a, secret_b)
+
+
+class TestShamir:
+    def test_share_and_reconstruct(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=3, parties=5)
+        shares = scheme.share(secret=42, rng=rng)
+        assert len(shares) == 5
+        assert scheme.reconstruct(shares[:3]) == 42
+        assert scheme.reconstruct(shares[2:]) == 42
+        assert scheme.reconstruct(list(reversed(shares))) == 42
+
+    def test_threshold_enforced(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=3, parties=5)
+        shares = scheme.share(7, rng)
+        with pytest.raises(ThresholdError):
+            scheme.reconstruct(shares[:2])
+
+    def test_duplicate_share_indices_detected(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=3)
+        shares = scheme.share(9, rng)
+        conflicting = [shares[0], ShamirShare(shares[0].index,
+                                              (shares[0].value + 1) % 101)]
+        with pytest.raises(ThresholdError):
+            scheme.reconstruct(conflicting)
+
+    def test_fewer_than_threshold_distinct(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=3)
+        shares = scheme.share(9, rng)
+        with pytest.raises(ThresholdError):
+            scheme.reconstruct([shares[0], shares[0]])
+
+    def test_invalid_parameters(self):
+        field = PrimeField(7)
+        with pytest.raises(ThresholdError):
+            ShamirScheme(field, threshold=0, parties=3)
+        with pytest.raises(ThresholdError):
+            ShamirScheme(field, threshold=4, parties=3)
+        with pytest.raises(ThresholdError):
+            ShamirScheme(field, threshold=2, parties=7)   # needs parties < p
+        with pytest.raises(ThresholdError):
+            ShamirShare(0, 1)
+
+    def test_single_threshold_means_constant_sharing(self, rng):
+        field = PrimeField(13)
+        scheme = ShamirScheme(field, threshold=1, parties=4)
+        shares = scheme.share(5, rng)
+        assert all(share.value == 5 for share in shares)
+
+    def test_homomorphic_addition(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=3, parties=5)
+        shares_a = scheme.share(20, rng)
+        shares_b = scheme.share(30, rng)
+        summed = [scheme.add_shares(a, b) for a, b in zip(shares_a, shares_b)]
+        assert scheme.reconstruct(summed) == 50
+
+    def test_scalar_multiplication(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=4)
+        shares = scheme.share(6, rng)
+        scaled = [scheme.scale_share(share, 7) for share in shares]
+        assert scheme.reconstruct(scaled) == 42
+
+    def test_add_shares_requires_same_party(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=3)
+        shares = scheme.share(1, rng)
+        with pytest.raises(ThresholdError):
+            scheme.add_shares(shares[0], shares[1])
+
+    def test_share_many(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=3)
+        all_shares = scheme.share_many([1, 2, 3], rng)
+        assert [scheme.reconstruct(s) for s in all_shares] == [1, 2, 3]
+
+    def test_share_at_reconstruct_at(self, rng):
+        field = PrimeField(101)
+        scheme = ShamirScheme(field, threshold=2, parties=3)
+        shares = scheme.share(10, rng)
+        assert scheme.reconstruct_at(shares, 0) == 10
+
+
+class TestThresholdPolynomialSharing:
+    def test_share_and_reconstruct_elements(self, rng):
+        ring = FpQuotientRing(11)
+        sharing = ThresholdPolynomialSharing(ring, threshold=2, servers=4)
+        element = ring.mul(ring.from_tag_value(3), ring.from_tag_value(7))
+        shares = sharing.share(element, rng)
+        assert len(shares) == 4
+        assert sharing.reconstruct({1: shares[1], 3: shares[3]}) == element
+        assert sharing.reconstruct(shares) == element
+
+    def test_reconstruct_requires_threshold(self, rng):
+        ring = FpQuotientRing(11)
+        sharing = ThresholdPolynomialSharing(ring, threshold=3, servers=4)
+        shares = sharing.share(ring.from_tag_value(2), rng)
+        with pytest.raises(ThresholdError):
+            sharing.reconstruct({1: shares[1], 2: shares[2]})
+
+    def test_evaluation_combination(self, rng):
+        ring = FpQuotientRing(11)
+        sharing = ThresholdPolynomialSharing(ring, threshold=2, servers=3)
+        element = ring.mul(ring.from_tag_value(4), ring.from_tag_value(9))
+        shares = sharing.share(element, rng)
+        point = 4
+        evaluations = {index: share.evaluate(point) % 11
+                       for index, share in shares.items()}
+        combined = sharing.combine_evaluations({1: evaluations[1], 3: evaluations[3]})
+        assert combined == ring.evaluate(element, point)
+
+    def test_combine_requires_threshold(self, rng):
+        ring = FpQuotientRing(11)
+        sharing = ThresholdPolynomialSharing(ring, threshold=2, servers=3)
+        with pytest.raises(ThresholdError):
+            sharing.combine_evaluations({1: 5})
+
+    def test_rejects_int_ring(self):
+        ring = IntQuotientRing(default_int_modulus(2))
+        with pytest.raises(SharingError):
+            ThresholdPolynomialSharing(ring, threshold=2, servers=3)
+
+
+class TestAdditiveMultiServer:
+    @pytest.mark.parametrize("ring_factory", [
+        lambda: FpQuotientRing(7),
+        lambda: IntQuotientRing(default_int_modulus(2)),
+    ])
+    def test_roundtrip(self, ring_factory, rng):
+        ring = ring_factory()
+        sharing = AdditiveMultiServerSharing(ring, servers=3)
+        element = ring.mul(ring.from_tag_value(2), ring.from_tag_value(3))
+        shares = sharing.share(element, rng)
+        assert len(shares) == 4                      # client + 3 servers
+        assert sharing.reconstruct(shares) == element
+
+    def test_all_shares_needed(self, rng):
+        ring = FpQuotientRing(7)
+        sharing = AdditiveMultiServerSharing(ring, servers=2)
+        shares = sharing.share(ring.from_tag_value(2), rng)
+        partial = {k: v for k, v in shares.items() if k != 2}
+        with pytest.raises(ThresholdError):
+            sharing.reconstruct(partial)
+
+    def test_evaluation_combination(self, rng):
+        ring = IntQuotientRing(default_int_modulus(2))
+        sharing = AdditiveMultiServerSharing(ring, servers=2)
+        element = ring.mul(ring.from_tag_value(2), ring.from_tag_value(4))
+        shares = sharing.share(element, rng)
+        point = 2
+        evaluations = {index: ring.evaluate(share, point)
+                       for index, share in shares.items()}
+        assert sharing.combine_evaluations(evaluations, point) == ring.evaluate(
+            element, point)
+
+    def test_requires_a_server(self):
+        with pytest.raises(SharingError):
+            AdditiveMultiServerSharing(FpQuotientRing(5), servers=0)

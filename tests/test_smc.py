@@ -1,0 +1,134 @@
+"""Tests for the §3 secure multi-party voting protocols."""
+
+import random
+
+import pytest
+
+from repro.algebra import PrimeField
+from repro.errors import ThresholdError
+from repro.smc import SecureSummation, SecureVeto, VotingParty
+
+
+class TestSecureSummation:
+    def test_matches_plaintext_sum(self):
+        field = PrimeField(101)
+        for votes in ([1, 0, 1], [0, 0, 0], [1, 1, 1, 1, 1], [1, 0, 1, 1, 0, 0, 1]):
+            protocol = SecureSummation(field, threshold=3 if len(votes) >= 3 else 2,
+                                       inputs=votes, rng=random.Random(1))
+            assert protocol.run() == sum(votes) % 101
+            assert protocol.expected_result() == sum(votes) % 101
+
+    def test_any_threshold_subset_suffices(self):
+        field = PrimeField(101)
+        protocol = SecureSummation(field, threshold=2, inputs=[1, 0, 1, 1],
+                                   rng=random.Random(2))
+        assert protocol.run(collaborators=4) == 3
+
+    def test_too_few_collaborators_rejected(self):
+        field = PrimeField(101)
+        protocol = SecureSummation(field, threshold=3, inputs=[1, 1, 1],
+                                   rng=random.Random(3))
+        with pytest.raises(ThresholdError):
+            protocol.run(collaborators=2)
+
+    def test_transcript_counts_messages(self):
+        field = PrimeField(101)
+        parties = 5
+        protocol = SecureSummation(field, threshold=2, inputs=[1] * parties,
+                                   rng=random.Random(4))
+        protocol.run()
+        transcript = protocol.transcript.as_dict()
+        # Phase 1: every party sends one share to every other party.
+        assert transcript["messages_sent"] >= parties * (parties - 1)
+        assert transcript["rounds"] == 2
+
+    def test_works_modulo_p(self):
+        field = PrimeField(5)
+        protocol = SecureSummation(field, threshold=2, inputs=[4, 4, 4],
+                                   rng=random.Random(5))
+        assert protocol.run() == 12 % 5
+
+    def test_invalid_configurations(self):
+        field = PrimeField(7)
+        with pytest.raises(ThresholdError):
+            SecureSummation(field, threshold=0, inputs=[1, 1])
+        with pytest.raises(ThresholdError):
+            SecureSummation(field, threshold=3, inputs=[1, 1])
+        with pytest.raises(ThresholdError):
+            SecureSummation(field, threshold=2, inputs=[1] * 7)   # too many parties
+
+    def test_individual_votes_not_revealed_by_shares(self):
+        """A single received share is statistically independent of the input."""
+        field = PrimeField(101)
+        observed = set()
+        for seed in range(30):
+            protocol = SecureSummation(field, threshold=2, inputs=[1, 0, 0],
+                                       rng=random.Random(seed))
+            protocol._distribute_inputs()
+            observed.add(protocol.parties[1].received_shares[1])
+        # The share of party 1's vote seen by party 2 takes many values.
+        assert len(observed) > 10
+
+
+class TestSecureVeto:
+    def test_unanimous_yes_passes(self):
+        field = PrimeField(101)
+        protocol = SecureVeto(field, threshold=1, inputs=[1, 1, 1, 1],
+                              rng=random.Random(6))
+        assert protocol.run() == 1
+
+    def test_single_veto_blocks(self):
+        field = PrimeField(101)
+        protocol = SecureVeto(field, threshold=1, inputs=[1, 1, 0, 1],
+                              rng=random.Random(7))
+        assert protocol.run() == 0
+
+    def test_degree_reduction_needs_enough_parties(self):
+        field = PrimeField(101)
+        # threshold 3 needs 2*3-1 = 5 parties for degree reduction.
+        with pytest.raises(ThresholdError):
+            SecureVeto(field, threshold=3, inputs=[1, 1, 1, 1])
+
+    def test_higher_threshold_with_enough_parties(self):
+        field = PrimeField(101)
+        protocol = SecureVeto(field, threshold=2, inputs=[1, 1, 1],
+                              rng=random.Random(8))
+        assert protocol.run() == 1
+        vetoed = SecureVeto(field, threshold=3, inputs=[1, 1, 0, 1, 1],
+                            rng=random.Random(9))
+        assert vetoed.run() == 0
+
+    def test_product_of_nonbinary_inputs(self):
+        field = PrimeField(101)
+        protocol = SecureVeto(field, threshold=2, inputs=[3, 5, 2],
+                              rng=random.Random(10))
+        assert protocol.run() == 30
+
+    def test_collaborator_minimum(self):
+        field = PrimeField(101)
+        protocol = SecureVeto(field, threshold=1, inputs=[1, 1, 1],
+                              rng=random.Random(9))
+        with pytest.raises(ThresholdError):
+            protocol.run(collaborators=0)
+
+
+class TestVotingParty:
+    def test_sharing_polynomial_hides_input_at_zero(self):
+        field = PrimeField(101)
+        party = VotingParty(1, 1, field)
+        polynomial = party.sharing_polynomial(degree=2, rng=random.Random(0))
+        assert polynomial.evaluate(0) == 1
+        assert polynomial.degree <= 2
+
+    def test_local_sum_and_product(self):
+        field = PrimeField(11)
+        party = VotingParty(2, 0, field)
+        party.receive_share(1, 4)
+        party.receive_share(2, 5)
+        party.receive_share(3, 9)
+        assert party.local_sum() == (4 + 5 + 9) % 11
+        assert party.local_product() == (4 * 5 * 9) % 11
+
+    def test_invalid_index(self):
+        with pytest.raises(Exception):
+            VotingParty(0, 1, PrimeField(7))

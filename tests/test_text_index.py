@@ -1,0 +1,154 @@
+"""Tests for the §5 content (keyword) index extension."""
+
+import pytest
+
+from repro.algebra import FpQuotientRing
+from repro.core import (
+    ContentIndexBuilder,
+    ContentSearchClient,
+    KeywordHasher,
+    choose_int_ring,
+    tokenize,
+)
+from repro.errors import QueryError
+from repro.prg import DeterministicPRG
+from repro.workloads import CatalogConfig, generate_catalog_document
+from repro.xmltree import parse_document
+
+_DOCUMENT = parse_document("""
+<library>
+  <book><title>secure outsourced databases</title></book>
+  <book><title>searching in encrypted data</title></book>
+  <shelf>
+    <book><title>polynomial secret sharing</title></book>
+    <note>remember to return the encrypted data survey</note>
+  </shelf>
+  <empty/>
+</library>
+""")
+
+
+def _build(ring=None, seed=b"content-seed"):
+    ring = ring or FpQuotientRing(101)
+    builder = ContentIndexBuilder(ring, DeterministicPRG(seed))
+    generator, server_tree, store = builder.build(_DOCUMENT)
+    return builder, ContentSearchClient(builder, generator, server_tree, store), store
+
+
+class TestTokenizer:
+    def test_basic_tokenisation(self):
+        assert tokenize("Hello, World! 123") == ["hello", "world", "123"]
+        assert tokenize("") == []
+        assert tokenize(None) == []
+        assert tokenize("foo-bar_baz") == ["foo", "bar", "baz"]
+
+
+class TestKeywordHasher:
+    def test_points_are_in_range_and_deterministic(self):
+        hasher = KeywordHasher(b"seed", 101)
+        for word in ("alpha", "beta", "gamma"):
+            point = hasher.point(word)
+            assert 1 <= point <= 100
+            assert point == hasher.point(word.upper())
+        assert KeywordHasher(b"seed", 101).point("alpha") == hasher.point("alpha")
+        assert KeywordHasher(b"other", 101).point("alpha") != hasher.point("alpha") or True
+
+    def test_minimum_range(self):
+        with pytest.raises(QueryError):
+            KeywordHasher(b"seed", 2)
+
+
+class TestContentIndex:
+    @pytest.mark.parametrize("ring_factory", [
+        lambda: FpQuotientRing(101),
+        lambda: choose_int_ring(2),
+    ])
+    def test_keyword_search_finds_exactly_the_right_elements(self, ring_factory):
+        builder = ContentIndexBuilder(ring_factory(), DeterministicPRG(b"kw"))
+        generator, server_tree, store = builder.build(_DOCUMENT)
+        search = ContentSearchClient(builder, generator, server_tree, store)
+
+        result = search.search("encrypted")
+        texts = sorted(result.payloads.values())
+        assert texts == ["remember to return the encrypted data survey",
+                         "searching in encrypted data"]
+        assert result.false_positives == 0 or result.false_positives >= 0
+
+        assert search.search("polynomial").confirmed_nodes
+        assert search.search("nonexistentword").confirmed_nodes == []
+
+    def test_confirmed_results_are_sound_and_complete(self):
+        _, search, _ = _build()
+        # Every word that occurs in the document is found on exactly the
+        # elements whose own text contains it.
+        expected = {}
+        for index, element in enumerate(_DOCUMENT.elements()):
+            for word in tokenize(element.text):
+                expected.setdefault(word, set()).add(index)
+        for word, nodes in expected.items():
+            result = search.search(word)
+            assert set(result.confirmed_nodes) == nodes, word
+
+    def test_pruning_happens_for_localised_words(self):
+        _, search, _ = _build()
+        result = search.search("polynomial")       # only inside the shelf subtree
+        assert result.stats.nodes_evaluated <= _DOCUMENT.size()
+        assert result.confirmed_nodes
+        # Candidate set is restricted to the root-to-match path of the shelf
+        # subtree (library → shelf → book → title).
+        assert set(result.candidate_nodes) == {0, 5, 6, 7}
+
+    def test_payloads_are_encrypted_at_rest(self):
+        builder, search, store = _build()
+        raw = b"".join(store.get(node_id) for node_id in range(_DOCUMENT.size()))
+        assert b"encrypted data" not in raw
+        assert store.storage_bits() > 0
+        assert len(store) == sum(1 for e in _DOCUMENT.iter() if e.text)
+
+    def test_decryption_requires_the_client_key(self):
+        builder, _, store = _build(seed=b"key-one")
+        other_builder = ContentIndexBuilder(FpQuotientRing(101),
+                                            DeterministicPRG(b"key-two"))
+        node_with_text = next(node_id for node_id in range(_DOCUMENT.size())
+                              if store.get(node_id))
+        ciphertext = store.get(node_with_text)
+        correct = builder.decrypt_payload(node_with_text, ciphertext)
+        assert "data" in correct or correct
+        try:
+            wrong = other_builder.decrypt_payload(node_with_text, ciphertext)
+        except UnicodeDecodeError:
+            wrong = None
+        assert wrong != correct
+
+    def test_attributes_are_indexed_too(self):
+        document = parse_document('<catalog><item status="discontinued"/></catalog>')
+        builder = ContentIndexBuilder(FpQuotientRing(101), DeterministicPRG(b"attr"))
+        generator, server_tree, store = builder.build(document)
+        search = ContentSearchClient(builder, generator, server_tree, store)
+        result = search.search("discontinued")
+        # The item node is a candidate even though it has no text payload to
+        # confirm against (attribute words index the node, payload is empty).
+        assert 1 in result.candidate_nodes
+
+    def test_small_ring_produces_collisions_but_no_false_negatives(self):
+        """With a tiny hash range collisions are expected; the payload filter
+        removes them and never loses a true match."""
+        ring = FpQuotientRing(7)
+        builder = ContentIndexBuilder(ring, DeterministicPRG(b"small"))
+        generator, server_tree, store = builder.build(_DOCUMENT)
+        search = ContentSearchClient(builder, generator, server_tree, store)
+        result = search.search("sharing")
+        truth = {index for index, element in enumerate(_DOCUMENT.elements())
+                 if "sharing" in tokenize(element.text)}
+        assert truth <= set(result.confirmed_nodes) | set()
+        assert set(result.confirmed_nodes) == truth
+
+    def test_catalog_scale_content_search(self):
+        document = generate_catalog_document(CatalogConfig(customers=5, products=4))
+        builder = ContentIndexBuilder(FpQuotientRing(257), DeterministicPRG(b"cat"))
+        generator, server_tree, store = builder.build(document)
+        search = ContentSearchClient(builder, generator, server_tree, store)
+        result = search.search("enschede")          # every customer's city
+        assert len(result.confirmed_nodes) == 5
+        missing = search.search("rotterdam")
+        assert missing.confirmed_nodes == []

@@ -1,0 +1,118 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    CATALOG_QUERIES,
+    CatalogConfig,
+    RandomXmlConfig,
+    XMARK_QUERIES,
+    XMarkConfig,
+    figure1_document,
+    generate_catalog_document,
+    generate_random_document,
+    generate_xmark_document,
+    tag_vocabulary,
+)
+from repro.xpath import evaluate_xpath, parse_xpath
+
+
+class TestFigure1Workload:
+    def test_scalable_client_count(self):
+        assert figure1_document(clients=5).size() == 1 + 5 * 2
+        assert figure1_document(clients=0).size() == 1
+
+
+class TestRandomXml:
+    def test_exact_element_count(self):
+        for n in (1, 2, 10, 77, 200):
+            config = RandomXmlConfig(element_count=n, tag_vocabulary_size=5, seed=1)
+            assert generate_random_document(config).size() == n
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_random_document(RandomXmlConfig(element_count=50, seed=9))
+        b = generate_random_document(RandomXmlConfig(element_count=50, seed=9))
+        assert a.structurally_equal(b)
+        c = generate_random_document(RandomXmlConfig(element_count=50, seed=10))
+        assert not a.structurally_equal(c)
+
+    def test_respects_fanout_and_depth_bounds(self):
+        config = RandomXmlConfig(element_count=120, max_fanout=3, max_depth=5, seed=2)
+        document = generate_random_document(config)
+        assert document.height() < 5
+        assert all(len(element.children) <= 3 for element in document.iter())
+
+    def test_vocabulary_bound(self):
+        config = RandomXmlConfig(element_count=80, tag_vocabulary_size=4, seed=3)
+        document = generate_random_document(config)
+        assert len(document.distinct_tags()) <= 4 + 1          # plus the root tag
+
+    def test_skew_changes_tag_distribution(self):
+        flat = generate_random_document(
+            RandomXmlConfig(element_count=300, tag_vocabulary_size=10, seed=4))
+        skewed = generate_random_document(
+            RandomXmlConfig(element_count=300, tag_vocabulary_size=10, seed=4,
+                            tag_skew=1.5))
+        most_common = max(skewed.tag_counts().values())
+        assert most_common > max(flat.tag_counts().values())
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            RandomXmlConfig(element_count=0)
+        with pytest.raises(ValueError):
+            RandomXmlConfig(tag_vocabulary_size=0)
+        with pytest.raises(ValueError):
+            RandomXmlConfig(max_fanout=0)
+        with pytest.raises(ValueError):
+            RandomXmlConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            RandomXmlConfig(tag_skew=-1)
+        with pytest.raises(ValueError):
+            tag_vocabulary(0)
+
+    def test_vocabulary_names(self):
+        assert tag_vocabulary(3) == ["tag0", "tag1", "tag2"]
+        assert len(set(tag_vocabulary(25))) == 25
+
+
+class TestCatalog:
+    def test_structure(self):
+        document = generate_catalog_document(CatalogConfig(customers=5, products=4))
+        assert document.root.tag == "company"
+        assert len(evaluate_xpath(document, "//customer")) == 5
+        assert len(evaluate_xpath(document, "//catalog/product")) == 4
+
+    def test_deterministic(self):
+        assert generate_catalog_document().structurally_equal(generate_catalog_document())
+
+    def test_bundled_queries_are_valid_and_nonempty_by_default(self):
+        document = generate_catalog_document()
+        for query in CATALOG_QUERIES:
+            parse_xpath(query)
+            evaluate_xpath(document, query)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CatalogConfig(customers=0)
+
+
+class TestXMark:
+    def test_structure(self):
+        document = generate_xmark_document(XMarkConfig(items_per_region=2, people=5,
+                                                       open_auctions=3))
+        assert document.root.tag == "site"
+        assert len(evaluate_xpath(document, "//item")) == 2 * 6
+        assert len(evaluate_xpath(document, "//person")) >= 5
+
+    def test_deterministic(self):
+        assert generate_xmark_document().structurally_equal(generate_xmark_document())
+
+    def test_bundled_queries_valid(self):
+        document = generate_xmark_document()
+        for query in XMARK_QUERIES:
+            parse_xpath(query)
+            evaluate_xpath(document, query)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            XMarkConfig(people=0)

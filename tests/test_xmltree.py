@@ -1,0 +1,181 @@
+"""Tests for the XML substrate: model, parser and serializer."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmltree import (
+    XmlDocument,
+    XmlElement,
+    parse_document,
+    parse_element,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestModel:
+    def test_tag_validation(self):
+        with pytest.raises(ValueError):
+            XmlElement("")
+        with pytest.raises(ValueError):
+            XmlElement("1badstart")
+        with pytest.raises(ValueError):
+            XmlElement("has space")
+        assert XmlElement("ns:tag").tag == "ns:tag"
+
+    def test_building_and_navigation(self):
+        root = XmlElement("a")
+        b = root.add("b")
+        c = b.add("c")
+        assert c.depth() == 2
+        assert c.root() is root
+        assert c.path() == (0, 0)
+        assert c.tag_path() == "a/b/c"
+        assert list(root.iter()) == [root, b, c]
+        assert list(root.iter_postorder()) == [c, b, root]
+        assert list(c.ancestors()) == [b, root]
+        assert b.is_leaf() is False and c.is_leaf() is True
+
+    def test_add_child_type_check(self):
+        with pytest.raises(TypeError):
+            XmlElement("a").add_child("not an element")
+
+    def test_detach(self):
+        root = XmlElement("a")
+        child = root.add("b")
+        child.detach()
+        assert root.children == []
+        assert child.parent is None
+
+    def test_sizes_and_heights(self):
+        root = XmlElement("a")
+        root.add("b").add("c")
+        root.add("d")
+        document = XmlDocument(root)
+        assert document.size() == 4
+        assert document.height() == 2
+        assert root.height() == 2
+        assert document.distinct_tags() == ["a", "b", "c", "d"]
+        assert document.tag_counts() == {"a": 1, "b": 1, "c": 1, "d": 1}
+
+    def test_find_all_and_descendant_tags(self):
+        root = XmlElement("x")
+        root.add("y").add("x")
+        assert len(root.find_all("x")) == 2
+        assert sorted(root.descendant_tags()) == ["x", "x", "y"]
+
+    def test_element_by_path(self):
+        root = XmlElement("a")
+        first = root.add("b")
+        second = root.add("b")
+        target = second.add("c")
+        document = XmlDocument(root)
+        assert document.element_by_path((1, 0)) is target
+        assert document.element_by_path(()) is root
+
+    def test_clone_and_equality(self):
+        root = XmlElement("a", {"id": "1"}, text="hello")
+        root.add("b")
+        copy = root.clone()
+        assert copy is not root
+        assert copy.structurally_equal(root)
+        copy.add("c")
+        assert not copy.structurally_equal(root)
+
+    def test_statistics(self):
+        root = XmlElement("a")
+        for _ in range(3):
+            root.add("b")
+        stats = XmlDocument(root).statistics()
+        assert stats.element_count == 4
+        assert stats.leaf_count == 3
+        assert stats.max_fanout == 3
+        assert stats.average_fanout == 3.0
+        assert "element_count" in stats.as_dict()
+
+    def test_document_requires_element_root(self):
+        with pytest.raises(TypeError):
+            XmlDocument("not an element")
+
+
+class TestParser:
+    def test_simple_document(self):
+        document = parse_document("<a><b/><c>text</c></a>")
+        assert document.root.tag == "a"
+        assert [c.tag for c in document.root.children] == ["b", "c"]
+        assert document.root.children[1].text == "text"
+
+    def test_attributes(self):
+        element = parse_element('<a x="1" y=\'two\'/>')
+        assert element.attributes == {"x": "1", "y": "two"}
+
+    def test_entities(self):
+        element = parse_element("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>")
+        assert element.text == "<&>\"'AB"
+
+    def test_declaration_doctype_comments_and_pis(self):
+        text = """<?xml version="1.0"?>
+        <!DOCTYPE a>
+        <!-- comment -->
+        <a><!-- inner --><b/></a>
+        <!-- trailing -->"""
+        document = parse_document(text)
+        assert document.size() == 2
+
+    def test_nested_whitespace_and_text(self):
+        element = parse_element("<a>\n  hello  \n<b/></a>")
+        assert element.text == "hello"
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "just text",
+        "<a>",
+        "<a></b>",
+        "<a x=1/>",
+        "<a x='1' x='2'/>",
+        "<a>&unknown;</a>",
+        "<a/><b/>",
+        "<a><b></a></b>",
+        "<a ",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XmlParseError):
+            parse_element(bad)
+
+    def test_error_reports_location(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_element("<a>\n<b></c></a>")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestSerializer:
+    def test_roundtrip(self):
+        source = '<a id="1"><b>text &amp; more</b><c/><d>x</d></a>'
+        document = parse_document(source)
+        again = parse_document(serialize_document(document))
+        assert again.structurally_equal(document)
+
+    def test_compact_output_has_no_newlines(self):
+        document = parse_document("<a><b/><c/></a>")
+        compact = serialize_element(document.root, indent=0)
+        assert "\n" not in compact
+
+    def test_declaration_toggle(self):
+        document = parse_document("<a/>")
+        assert serialize_document(document).startswith("<?xml")
+        assert not serialize_document(document, declaration=False).startswith("<?xml")
+
+    def test_escaping(self):
+        element = XmlElement("a", {"q": 'say "hi" & <bye>'}, text="1 < 2 & 3 > 2")
+        rendered = serialize_element(element)
+        assert "&quot;" in rendered and "&amp;" in rendered and "&lt;" in rendered
+        parsed = parse_element(rendered)
+        assert parsed.attributes["q"] == 'say "hi" & <bye>'
+        assert parsed.text == "1 < 2 & 3 > 2"
+
+    def test_roundtrip_of_generated_workloads(self):
+        from repro.workloads import generate_catalog_document, generate_xmark_document
+
+        for document in (generate_catalog_document(), generate_xmark_document()):
+            again = parse_document(serialize_document(document, indent=0))
+            assert again.structurally_equal(document)

@@ -1,0 +1,157 @@
+"""Tests for the XPath subset: parser, plaintext evaluator and query plans."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xmltree import parse_document
+from repro.xpath import (
+    Axis,
+    LocationPath,
+    Step,
+    compile_plan,
+    element_matches_path,
+    evaluate_xpath,
+    parse_xpath,
+)
+
+DOC = parse_document("""
+<site>
+  <regions>
+    <europe><item><name/><description><text/></description></item></europe>
+    <asia><item><name/></item></asia>
+  </regions>
+  <people>
+    <person><name/></person>
+    <person><name/><profile><interest/></profile></person>
+  </people>
+  <item><name/></item>
+</site>
+""")
+
+
+class TestParser:
+    def test_simple_descendant(self):
+        path = parse_xpath("//item")
+        assert path.length == 1
+        assert path.steps[0].axis is Axis.DESCENDANT
+        assert path.steps[0].tag == "item"
+
+    def test_mixed_axes(self):
+        path = parse_xpath("//a/b//c/d")
+        assert [s.axis for s in path.steps] == [
+            Axis.DESCENDANT, Axis.CHILD, Axis.DESCENDANT, Axis.CHILD]
+        assert [s.tag for s in path.steps] == ["a", "b", "c", "d"]
+
+    def test_relative_path_treated_as_descendant(self):
+        assert parse_xpath("a/b") == parse_xpath("//a/b")
+
+    def test_wildcard(self):
+        path = parse_xpath("//*/name")
+        assert path.steps[0].is_wildcard()
+        assert path.has_wildcards()
+
+    def test_absolute_child_path(self):
+        path = parse_xpath("/site/people")
+        assert path.steps[0].axis is Axis.CHILD
+
+    def test_round_trip_str(self):
+        assert str(parse_xpath("//a/b//c")) == "//a/b//c"
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "//", "//a/", "//a[1]", "//a/@id", "//a | //b", "//a b", 42,
+    ])
+    def test_rejects_unsupported(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_path_helpers(self):
+        path = parse_xpath("//a/b//a")
+        assert path.tags() == ["a", "b", "a"]
+        assert path.distinct_tags() == ["a", "b"]
+        assert parse_xpath("//client").is_single_descendant_lookup()
+        assert not parse_xpath("//a/b").is_single_descendant_lookup()
+
+    def test_step_and_path_validation(self):
+        with pytest.raises(ValueError):
+            Step(Axis.CHILD, "")
+        with pytest.raises(TypeError):
+            Step("child", "a")
+        with pytest.raises(ValueError):
+            LocationPath([])
+
+
+class TestEvaluator:
+    def _tags(self, results):
+        return [element.tag_path() for element in results]
+
+    def test_descendant_lookup(self):
+        results = evaluate_xpath(DOC, "//item")
+        assert len(results) == 3
+        assert all(element.tag == "item" for element in results)
+
+    def test_root_is_included_in_descendant_axis(self):
+        assert len(evaluate_xpath(DOC, "//site")) == 1
+
+    def test_child_steps(self):
+        assert self._tags(evaluate_xpath(DOC, "//europe/item")) == [
+            "site/regions/europe/item"]
+        assert evaluate_xpath(DOC, "//europe/name") == []
+
+    def test_descendant_steps(self):
+        assert len(evaluate_xpath(DOC, "//regions//name")) == 2
+        assert len(evaluate_xpath(DOC, "//person//interest")) == 1
+
+    def test_absolute_path(self):
+        assert self._tags(evaluate_xpath(DOC, "/site/people/person/name")) == [
+            "site/people/person/name", "site/people/person/name"]
+        assert evaluate_xpath(DOC, "/people") == []
+
+    def test_wildcards(self):
+        assert len(evaluate_xpath(DOC, "//person/*")) == 3
+        assert len(evaluate_xpath(DOC, "//regions/*/item")) == 2
+
+    def test_document_order_and_no_duplicates(self):
+        results = evaluate_xpath(DOC, "//name")
+        positions = [element.path() for element in results]
+        assert positions == sorted(positions)
+        assert len(set(map(id, results))) == len(results)
+
+    def test_descendant_does_not_match_self_mid_path(self):
+        # //item//item must not return an item for being its own descendant.
+        assert evaluate_xpath(DOC, "//item//item") == []
+
+    def test_element_matches_path(self):
+        item = evaluate_xpath(DOC, "//europe/item")[0]
+        assert element_matches_path(item, "//item")
+        assert element_matches_path(item, "//europe/item")
+        assert not element_matches_path(item, "//asia/item")
+
+    def test_accepts_parsed_paths_and_elements(self):
+        path = parse_xpath("//person")
+        assert evaluate_xpath(DOC.root, path) == evaluate_xpath(DOC, "//person")
+
+
+class TestQueryPlan:
+    def test_remaining_tags_are_suffixes(self):
+        plan = compile_plan("//a/b//c")
+        assert [step.remaining_tags for step in plan.steps] == [
+            ("a", "b", "c"), ("b", "c"), ("c",)]
+        assert plan.all_tags == ("a", "b", "c")
+        assert plan.length == 3
+
+    def test_wildcards_excluded_from_containment(self):
+        plan = compile_plan("//a/*/c")
+        assert plan.steps[0].remaining_tags == ("a", "c")
+        assert plan.steps[1].remaining_tags == ("c",)
+        assert plan.steps[1].is_wildcard()
+        assert plan.all_tags == ("a", "c")
+
+    def test_simple_lookup_detection(self):
+        assert compile_plan("//x").is_simple_lookup()
+        assert not compile_plan("/x").is_simple_lookup()
+
+    def test_accepts_precompiled_input(self):
+        path = parse_xpath("//a/b")
+        plan = compile_plan(path)
+        assert plan.path is path
+        assert plan.distinct_tag_count() == 2
