@@ -5,6 +5,7 @@ two encoding rings of the paper (``F_p[x]/(x^{p-1}-1)`` and ``Z[x]/(r(x))``).
 from .fp import PrimeField
 from .fpe import ExtensionField, find_irreducible_polynomial
 from .interpolate import lagrange_evaluate_at, lagrange_interpolate
+from .kernels import FpKernel, ZKernel, kernels_enabled, use_kernels
 from .modint import crt, crt_pair, egcd, modinv, modpow
 from .poly import Polynomial, is_irreducible_mod_p, poly_gcd
 from .primes import (
@@ -30,6 +31,10 @@ __all__ = [
     "CoefficientRing",
     "IntegerRing",
     "ZZ",
+    "FpKernel",
+    "ZKernel",
+    "kernels_enabled",
+    "use_kernels",
     "PrimeField",
     "ExtensionField",
     "find_irreducible_polynomial",

@@ -9,8 +9,9 @@ of Shamir secret sharing (:mod:`repro.sharing.shamir`).
 from __future__ import annotations
 
 import random
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
+from .kernels import FpKernel, kernels_enabled
 from .modint import modinv
 from .primes import is_prime
 from .rings import CoefficientRing
@@ -33,6 +34,7 @@ class PrimeField(CoefficientRing):
             raise ValueError(f"{p} is not prime; use ExtensionField for prime powers")
         self.p = p
         self.name = f"F_{p}"
+        self._kernel = FpKernel(p)
 
     # -- constants ---------------------------------------------------------
     @property
@@ -77,6 +79,9 @@ class PrimeField(CoefficientRing):
 
     def is_field(self) -> bool:
         return True
+
+    def kernel(self) -> Optional[FpKernel]:
+        return self._kernel if kernels_enabled() else None
 
     def order(self) -> int:
         """Number of elements in the field."""
@@ -128,7 +133,7 @@ class PrimeField(CoefficientRing):
 
     # -- equality ------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, PrimeField) and other.p == self.p
+        return other is self or (isinstance(other, PrimeField) and other.p == self.p)
 
     def __hash__(self) -> int:
         return hash(("PrimeField", self.p))

@@ -16,6 +16,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import AlgebraError
 from .fp import PrimeField
+from .kernels import kernels_enabled
 from .poly import Polynomial, is_irreducible_mod_p, poly_gcd
 from .primes import is_prime
 from .rings import CoefficientRing
@@ -73,6 +74,23 @@ class ExtensionField(CoefficientRing):
             raise AlgebraError(f"{modulus} is not irreducible over F_{p}")
         self.modulus = Polynomial([int(c) % p for c in modulus.coeffs], self.base)
         self.name = f"F_{p}^{e}" if e > 1 else f"F_{p}"
+        # Remainders y^k mod m(y) for k in [e, 2e-2]: the degrees produced by
+        # multiplying two residues.  With them, field multiplication is one
+        # convolution plus a linear folding pass instead of a Polynomial
+        # divmod per product.  The modulus need not be monic: dividing the
+        # low coefficients by the leading one gives y^e = -low/lead.
+        self._mul_rows: List[Tuple[int, ...]] = []
+        if e > 1:
+            lead_inv = self.base.invert(self.modulus.coeffs[e])
+            low = [(int(c) * lead_inv) % p for c in self.modulus.coeffs[:e]]
+            row = [(-c) % p for c in low]
+            self._mul_rows.append(tuple(row))
+            for _ in range(e - 2):
+                top = row[e - 1]
+                row = [0] + row[:e - 1]
+                for j in range(e):
+                    row[j] = (row[j] - top * low[j]) % p
+                self._mul_rows.append(tuple(row))
 
     # -- element plumbing ------------------------------------------------------
     def _as_tuple(self, value) -> Tuple[int, ...]:
@@ -114,8 +132,25 @@ class ExtensionField(CoefficientRing):
         return tuple((-x) % self.p for x in self._as_tuple(a))
 
     def mul(self, a, b) -> Tuple[int, ...]:
-        pa, pb = self._to_poly(self._as_tuple(a)), self._to_poly(self._as_tuple(b))
-        return self._from_poly(pa * pb)
+        a, b = self._as_tuple(a), self._as_tuple(b)
+        if not kernels_enabled():
+            return self._from_poly(self._to_poly(a) * self._to_poly(b))
+        p, e = self.p, self.e
+        if e == 1:
+            return ((a[0] * b[0]) % p,)
+        conv = [0] * (2 * e - 1)
+        for i, x in enumerate(a):
+            if x:
+                for j, y in enumerate(b):
+                    conv[i + j] += x * y
+        out = conv[:e]
+        for k in range(e, 2 * e - 1):
+            c = conv[k]
+            if c:
+                row = self._mul_rows[k - e]
+                for j in range(e):
+                    out[j] += c * row[j]
+        return tuple(v % p for v in out)
 
     def invert(self, a) -> Tuple[int, ...]:
         a = self._as_tuple(a)

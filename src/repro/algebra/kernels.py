@@ -1,0 +1,322 @@
+"""Flat coefficient kernels: the fast path of the polynomial layer.
+
+:class:`~repro.algebra.poly.Polynomial` is generic over a
+:class:`~repro.algebra.rings.CoefficientRing`, which costs one virtual
+``ring.add``/``ring.mul`` call per coefficient.  For the two coefficient
+domains the scheme actually runs on — ``F_p`` (plain ints modulo a local
+``p``) and ``Z`` (native bigints) — that dispatch dominates the runtime of
+encoding (§4.1), share splitting (§4.2) and query evaluation (§4.3).
+
+A *kernel* is a small strategy object operating on flat sequences of
+canonical coefficients (ascending degree, no trailing zeros).  Kernels
+return trimmed ``list``\\ s that :meth:`Polynomial._from_canonical` wraps
+without re-canonicalising.  A coefficient ring advertises its kernel via
+:meth:`CoefficientRing.kernel`; rings without one (e.g. the extension
+field, whose elements are tuples) keep the generic reference path.
+
+Two kernels ship here:
+
+* :class:`FpKernel` — coefficients in ``[0, p)``.  Products are computed
+  as one integer convolution (Karatsuba above a cutoff) followed by a
+  single ``% p`` pass, instead of a modular reduction per term.
+* :class:`ZKernel` — native arbitrary-precision integer arithmetic.
+
+The module-level switch :func:`use_kernels` disables every fast path at
+once, which is how the property tests prove the kernels bit-identical to
+the generic implementation and how the benchmarks measure the speedup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "FpKernel",
+    "ZKernel",
+    "Z_KERNEL",
+    "kernels_enabled",
+    "use_kernels",
+    "KARATSUBA_CUTOFF",
+]
+
+#: Degree (in coefficients) below which schoolbook multiplication wins.
+#: Karatsuba's extra list traffic only pays off once the quadratic term
+#: dominates; 40 coefficients is a robust crossover for CPython ints.
+KARATSUBA_CUTOFF = 40
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    """True when rings should advertise their fast kernels."""
+    return _ENABLED
+
+
+@contextmanager
+def use_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily enable/disable every kernel fast path.
+
+    ``with use_kernels(False): ...`` forces the generic reference
+    implementation everywhere — used by the property tests and by the
+    benchmark suite's baseline measurements.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = enabled
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# -- shared integer convolution helpers ------------------------------------------
+
+
+def _int_add(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    if len(a) < len(b):
+        a, b = b, a
+    out = [x + y for x, y in zip(a, b)]
+    out += a[len(b):]
+    return out
+
+
+def _school_mul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    out = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        if x:
+            for j, y in enumerate(b):
+                out[i + j] += x * y
+    return out
+
+
+def _int_mul(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Integer coefficient convolution; Karatsuba above the cutoff."""
+    if not a or not b:
+        return []
+    if min(len(a), len(b)) <= KARATSUBA_CUTOFF:
+        return _school_mul(a, b)
+    k = max(len(a), len(b)) // 2
+    a0, a1 = a[:k], a[k:]
+    b0, b1 = b[:k], b[k:]
+    z0 = _int_mul(a0, b0)
+    z2 = _int_mul(a1, b1)
+    z1 = _int_mul(_int_add(a0, a1), _int_add(b0, b1))
+    out = [0] * (len(a) + len(b) - 1)
+    for i, v in enumerate(z0):
+        out[i] += v
+        out[i + k] -= v
+    for i, v in enumerate(z2):
+        out[i + 2 * k] += v
+        out[i + k] -= v
+    for i, v in enumerate(z1):
+        out[i + k] += v
+    return out
+
+
+def _trim(coeffs: List[int]) -> List[int]:
+    while coeffs and not coeffs[-1]:
+        coeffs.pop()
+    return coeffs
+
+
+def _pack(coeffs: Sequence[int], limb: int) -> int:
+    """Pack non-negative coefficients into one integer with ``limb``-byte limbs."""
+    buf = bytearray(len(coeffs) * limb)
+    offset = 0
+    for c in coeffs:
+        if c:
+            buf[offset:offset + limb] = c.to_bytes(limb, "little")
+        offset += limb
+    return int.from_bytes(buf, "little")
+
+
+#: Below this operand length (in coefficients) plain schoolbook beats the
+#: pack/unpack overhead of Kronecker substitution.
+KRONECKER_CUTOFF = 8
+
+
+class FpKernel:
+    """Flat-list arithmetic on coefficients in ``[0, p)``.
+
+    Inputs are read-only sequences of canonical residues; outputs are
+    trimmed lists of canonical residues.  Sums and convolutions accumulate
+    in plain integers and reduce modulo ``p`` once per output coefficient.
+
+    Products use Kronecker substitution: both operands are packed into one
+    big integer with fixed-width limbs wide enough that convolution columns
+    cannot carry, multiplied with CPython's native (Karatsuba) bigint
+    multiply, and the product's limbs are reduced mod ``p``.  That moves the
+    O(n^2)/O(n^1.58) work into C; only O(n) packing runs in Python.
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int) -> None:
+        self.p = p
+
+    def add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        p = self.p
+        if len(a) < len(b):
+            a, b = b, a
+        out = [(x + y) % p for x, y in zip(a, b)]
+        out += a[len(b):]
+        return _trim(out) if len(a) == len(b) else out
+
+    def sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        p = self.p
+        out = [(x - y) % p for x, y in zip(a, b)]
+        if len(a) > len(b):
+            out += a[len(b):]
+            return out
+        out += [(-y) % p for y in b[len(a):]]
+        return _trim(out) if len(a) == len(b) else out
+
+    def neg(self, a: Sequence[int]) -> List[int]:
+        p = self.p
+        return [(-x) % p for x in a]
+
+    def mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        p = self.p
+        if not a or not b:
+            return []
+        if min(len(a), len(b)) <= KRONECKER_CUTOFF:
+            return _trim([c % p for c in _school_mul(a, b)])
+        # Limb width: a convolution column is a sum of at most min(len) products
+        # of residues < p, so every column fits in `limb` bytes and columns
+        # cannot carry into each other.
+        bound = min(len(a), len(b)) * (p - 1) * (p - 1)
+        limb = (bound.bit_length() + 7) // 8
+        packed = _pack(a, limb) * _pack(b, limb)
+        n = len(a) + len(b) - 1
+        raw = packed.to_bytes(n * limb, "little")
+        from_bytes = int.from_bytes
+        out = [from_bytes(raw[i:i + limb], "little") % p
+               for i in range(0, n * limb, limb)]
+        return _trim(out)
+
+    def scalar_mul(self, a: Sequence[int], scalar: int) -> List[int]:
+        p = self.p
+        if not scalar % p:
+            return []
+        return _trim([(x * scalar) % p for x in a])
+
+    def divmod(self, a: Sequence[int],
+               b: Sequence[int]) -> Tuple[List[int], List[int]]:
+        if not b:
+            raise ZeroDivisionError("polynomial division by zero")
+        p = self.p
+        lead_inv = pow(b[-1], -1, p)
+        d = len(b) - 1
+        rem = list(a)
+        if len(rem) <= d:
+            return [], _trim(rem)
+        quotient = [0] * (len(rem) - d)
+        # Remainder entries stay unreduced between steps; each head
+        # coefficient is reduced as it is consumed.
+        for i in range(len(rem) - 1, d - 1, -1):
+            head = rem[i] % p
+            if head:
+                factor = (head * lead_inv) % p
+                quotient[i - d] = factor
+                shift = i - d
+                for j, y in enumerate(b):
+                    rem[shift + j] -= factor * y
+        return _trim(quotient), _trim([c % p for c in rem[:d]])
+
+    def derivative(self, a: Sequence[int]) -> List[int]:
+        p = self.p
+        return _trim([(i * c) % p for i, c in enumerate(a)][1:])
+
+    def evaluate(self, a: Sequence[int], point: int) -> int:
+        p = self.p
+        point %= p
+        acc = 0
+        for c in reversed(a):
+            acc = (acc * point + c) % p
+        return acc
+
+    def evaluate_many(self, seqs: Sequence[Sequence[int]], point: int) -> List[int]:
+        """Evaluate many coefficient vectors at one point.
+
+        Shares one power table across all vectors so each evaluation is a
+        dot product with a single final reduction.
+        """
+        p = self.p
+        point %= p
+        longest = max((len(s) for s in seqs), default=0)
+        powers = [0] * longest
+        if longest:
+            powers[0] = 1 % p
+        for i in range(1, longest):
+            powers[i] = powers[i - 1] * point % p
+        return [sum(c * w for c, w in zip(s, powers)) % p for s in seqs]
+
+
+class ZKernel:
+    """Native bigint arithmetic for the ``Z`` coefficient domain."""
+
+    __slots__ = ()
+
+    def add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        out = _int_add(a, b)
+        return _trim(out) if len(a) == len(b) else out
+
+    def sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        out = [x - y for x, y in zip(a, b)]
+        if len(a) > len(b):
+            out += a[len(b):]
+            return out
+        out += [-y for y in b[len(a):]]
+        return _trim(out) if len(a) == len(b) else out
+
+    def neg(self, a: Sequence[int]) -> List[int]:
+        return [-x for x in a]
+
+    def mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        return _trim(_int_mul(a, b))
+
+    def scalar_mul(self, a: Sequence[int], scalar: int) -> List[int]:
+        if not scalar:
+            return []
+        return [x * scalar for x in a]
+
+    def divmod(self, a: Sequence[int],
+               b: Sequence[int]) -> Tuple[List[int], List[int]]:
+        if not b:
+            raise ZeroDivisionError("polynomial division by zero")
+        lead = b[-1]
+        if lead not in (1, -1):
+            raise ZeroDivisionError(f"{lead} is not a unit in Z")
+        d = len(b) - 1
+        rem = list(a)
+        if len(rem) <= d:
+            return [], _trim(rem)
+        quotient = [0] * (len(rem) - d)
+        for i in range(len(rem) - 1, d - 1, -1):
+            head = rem[i]
+            if head:
+                factor = head * lead  # head / lead with lead in {1, -1}
+                quotient[i - d] = factor
+                shift = i - d
+                for j, y in enumerate(b):
+                    rem[shift + j] -= factor * y
+        return _trim(quotient), _trim(rem[:d])
+
+    def derivative(self, a: Sequence[int]) -> List[int]:
+        return _trim([i * c for i, c in enumerate(a)][1:])
+
+    def evaluate(self, a: Sequence[int], point: int) -> int:
+        acc = 0
+        for c in reversed(a):
+            acc = acc * point + c
+        return acc
+
+    def evaluate_many(self, seqs: Sequence[Sequence[int]], point: int) -> List[int]:
+        # Horner per vector: a shared power table would materialise huge
+        # bigints for high degrees, so the simple loop wins over Z.
+        return [self.evaluate(s, point) for s in seqs]
+
+
+#: Shared stateless instance advertised by every ``IntegerRing``.
+Z_KERNEL = ZKernel()

@@ -22,7 +22,13 @@ __all__ = ["Polynomial", "poly_gcd", "is_irreducible_mod_p"]
 
 
 class Polynomial:
-    """Immutable dense polynomial ``c0 + c1*x + ... + cn*x^n`` over a ring."""
+    """Immutable dense polynomial ``c0 + c1*x + ... + cn*x^n`` over a ring.
+
+    Arithmetic dispatches to the ring's flat coefficient kernel
+    (:meth:`CoefficientRing.kernel`) when one is advertised; the inline
+    per-element implementations below remain the reference semantics and
+    serve rings without a kernel.
+    """
 
     __slots__ = ("ring", "coeffs")
 
@@ -32,6 +38,15 @@ class Polynomial:
             canonical.pop()
         self.ring = ring
         self.coeffs: Tuple[Any, ...] = tuple(canonical)
+
+    @classmethod
+    def _from_canonical(cls, coeffs: Iterable[Any],
+                        ring: CoefficientRing) -> "Polynomial":
+        """Wrap already-canonical, trimmed coefficients (kernel outputs)."""
+        poly = object.__new__(cls)
+        poly.ring = ring
+        poly.coeffs = tuple(coeffs)
+        return poly
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -132,6 +147,10 @@ class Polynomial:
             return NotImplemented
         self._check_ring(other)
         ring = self.ring
+        kernel = ring.kernel()
+        if kernel is not None:
+            return Polynomial._from_canonical(
+                kernel.add(self.coeffs, other.coeffs), ring)
         n = max(len(self.coeffs), len(other.coeffs))
         coeffs = [
             ring.add(self.coefficient(i), other.coefficient(i)) for i in range(n)
@@ -143,6 +162,10 @@ class Polynomial:
             return NotImplemented
         self._check_ring(other)
         ring = self.ring
+        kernel = ring.kernel()
+        if kernel is not None:
+            return Polynomial._from_canonical(
+                kernel.sub(self.coeffs, other.coeffs), ring)
         n = max(len(self.coeffs), len(other.coeffs))
         coeffs = [
             ring.sub(self.coefficient(i), other.coefficient(i)) for i in range(n)
@@ -150,12 +173,19 @@ class Polynomial:
         return Polynomial(coeffs, ring)
 
     def __neg__(self) -> "Polynomial":
+        kernel = self.ring.kernel()
+        if kernel is not None:
+            return Polynomial._from_canonical(kernel.neg(self.coeffs), self.ring)
         return Polynomial([self.ring.neg(c) for c in self.coeffs], self.ring)
 
     def __mul__(self, other: Any) -> "Polynomial":
         ring = self.ring
+        kernel = ring.kernel()
         if isinstance(other, Polynomial):
             self._check_ring(other)
+            if kernel is not None:
+                return Polynomial._from_canonical(
+                    kernel.mul(self.coeffs, other.coeffs), ring)
             if self.is_zero() or other.is_zero():
                 return Polynomial.zero(ring)
             result = [ring.zero] * (len(self.coeffs) + len(other.coeffs) - 1)
@@ -167,6 +197,9 @@ class Polynomial:
             return Polynomial(result, ring)
         # Scalar multiplication.
         scalar = ring.coerce(other)
+        if kernel is not None:
+            return Polynomial._from_canonical(
+                kernel.scalar_mul(self.coeffs, scalar), ring)
         return Polynomial([ring.mul(c, scalar) for c in self.coeffs], ring)
 
     def __rmul__(self, other: Any) -> "Polynomial":
@@ -194,7 +227,8 @@ class Polynomial:
             raise ValueError("shift must be non-negative")
         if self.is_zero():
             return self
-        return Polynomial([self.ring.zero] * degrees + list(self.coeffs), self.ring)
+        return Polynomial._from_canonical(
+            [self.ring.zero] * degrees + list(self.coeffs), self.ring)
 
     def divmod(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
         """Polynomial division with remainder.
@@ -209,6 +243,11 @@ class Polynomial:
         if divisor.is_zero():
             raise ZeroDivisionError("polynomial division by zero")
         ring = self.ring
+        kernel = ring.kernel()
+        if kernel is not None:
+            quotient, remainder = kernel.divmod(self.coeffs, divisor.coeffs)
+            return (Polynomial._from_canonical(quotient, ring),
+                    Polynomial._from_canonical(remainder, ring))
         lead_inv = ring.invert(divisor.leading_coefficient)
         remainder = list(self.coeffs)
         quotient = [ring.zero] * max(0, len(remainder) - len(divisor.coeffs) + 1)
@@ -237,6 +276,9 @@ class Polynomial:
         """Evaluate at ``point`` using Horner's rule (in the coefficient ring)."""
         ring = self.ring
         point = ring.coerce(point)
+        kernel = ring.kernel()
+        if kernel is not None:
+            return kernel.evaluate(self.coeffs, point)
         result = ring.zero
         for coefficient in reversed(self.coeffs):
             result = ring.add(ring.mul(result, point), coefficient)
@@ -248,12 +290,13 @@ class Polynomial:
     def derivative(self) -> "Polynomial":
         """Formal derivative."""
         ring = self.ring
-        coeffs = []
-        for i, c in enumerate(self.coeffs[1:], start=1):
-            multiple = ring.zero
-            for _ in range(i):
-                multiple = ring.add(multiple, c)
-            coeffs.append(multiple)
+        kernel = ring.kernel()
+        if kernel is not None:
+            return Polynomial._from_canonical(kernel.derivative(self.coeffs), ring)
+        # i*c via one scalar multiply: coerce embeds Z -> ring, so
+        # ring.mul(c, coerce(i)) equals the i-fold sum of c in any ring.
+        coeffs = [ring.mul(c, ring.coerce(i))
+                  for i, c in enumerate(self.coeffs)][1:]
         return Polynomial(coeffs, ring)
 
     def compose(self, inner: "Polynomial") -> "Polynomial":

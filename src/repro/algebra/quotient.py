@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import AlgebraError, TagRecoveryError
 from .fp import PrimeField
+from .kernels import _trim, kernels_enabled
 from .poly import Polynomial, is_irreducible_mod_p
 from .rings import CoefficientRing, IntegerRing, ZZ
 
@@ -51,13 +52,21 @@ class EncodingRing(abc.ABC):
     # -- canonical elements --------------------------------------------------
     @property
     def zero(self) -> Polynomial:
-        """The zero element."""
-        return Polynomial.zero(self.coefficient_ring)
+        """The zero element (cached; Polynomial values are immutable)."""
+        cached = self.__dict__.get("_zero")
+        if cached is None:
+            cached = Polynomial.zero(self.coefficient_ring)
+            self.__dict__["_zero"] = cached
+        return cached
 
     @property
     def one(self) -> Polynomial:
-        """The unit element."""
-        return Polynomial.one(self.coefficient_ring)
+        """The unit element (cached; Polynomial values are immutable)."""
+        cached = self.__dict__.get("_one")
+        if cached is None:
+            cached = Polynomial.one(self.coefficient_ring)
+            self.__dict__["_one"] = cached
+        return cached
 
     @property
     @abc.abstractmethod
@@ -68,6 +77,16 @@ class EncodingRing(abc.ABC):
     @abc.abstractmethod
     def reduce(self, poly: Polynomial) -> Polynomial:
         """Reduce an arbitrary polynomial into canonical form."""
+
+    def is_canonical(self, poly: Polynomial) -> bool:
+        """True when ``poly`` is already a reduced ring element.
+
+        Canonical elements live over the ring's coefficient ring and stay
+        below the degree bound; :meth:`reduce` is the identity on them, so
+        callers holding the output of a ring operation can skip re-reducing.
+        """
+        return (poly.ring == self.coefficient_ring
+                and len(poly.coeffs) <= self.degree_bound)
 
     def coerce(self, poly: Polynomial) -> Polynomial:
         """Reduce ``poly`` after mapping its coefficients into the ring."""
@@ -115,9 +134,25 @@ class EncodingRing(abc.ABC):
     # -- randomness ------------------------------------------------------------
     def random_element(self, rng: random.Random) -> Polynomial:
         """Uniform-ish random reduced element (used for client shares, §4.2)."""
-        coeffs = [self.coefficient_ring.random_element(rng)
-                  for _ in range(self.degree_bound)]
-        return self.reduce(Polynomial(coeffs, self.coefficient_ring))
+        ring = self.coefficient_ring
+        coeffs = [ring.random_element(rng) for _ in range(self.degree_bound)]
+        if ring.kernel() is not None:
+            # random_element already yields canonical coefficients; skip the
+            # per-element re-canonicalisation and the no-op reduce.
+            return Polynomial._from_canonical(_trim(coeffs), ring)
+        return self.reduce(Polynomial(coeffs, ring))
+
+    def random_element_from_stream(self, stream: Any) -> Polynomial:
+        """Uniform-ish random reduced element drawn from a PRG byte stream.
+
+        Same distribution as :meth:`random_element` but sampled in bulk
+        from a :class:`repro.prg.SeededStream` — the share-regeneration hot
+        path of :class:`repro.core.share_tree.ClientShareGenerator`.  The
+        default adapter seeds a stdlib ``Random`` from the stream; concrete
+        rings override it with direct rejection sampling.
+        """
+        rng = random.Random(int.from_bytes(stream.read(32), "big"))
+        return self.random_element(rng)
 
     # -- query evaluation (§4.3) -------------------------------------------------
     @abc.abstractmethod
@@ -136,6 +171,28 @@ class EncodingRing(abc.ABC):
         if modulus is None:
             return int(value)
         return int(value) % modulus
+
+    def evaluate_many(self, elements: Sequence[Polynomial],
+                      point: int) -> List[int]:
+        """Evaluate many ring elements at one query point in a single pass.
+
+        The hot path of the §4.3 protocol: every descent round evaluates a
+        whole frontier of node shares at the same point.  With a kernel the
+        power table of the point is shared across all elements; without one
+        this is equivalent to calling :meth:`evaluate` per element.
+        """
+        if not elements:
+            return []
+        modulus = self.evaluation_modulus(point)
+        kernel = self.coefficient_ring.kernel()
+        if kernel is not None:
+            coerced = self.coefficient_ring.coerce(point)
+            values = kernel.evaluate_many([e.coeffs for e in elements], coerced)
+        else:
+            values = [int(e.evaluate(point)) for e in elements]
+        if modulus is None:
+            return [int(v) for v in values]
+        return [int(v) % modulus for v in values]
 
     def evaluation_add(self, a: int, b: int, point: int) -> int:
         """Add two evaluation values in the evaluation domain at ``point``."""
@@ -158,7 +215,8 @@ class EncodingRing(abc.ABC):
         and 2 guarantee uniqueness; inconsistent inputs raise
         :class:`~repro.errors.TagRecoveryError`.
         """
-        solutions = self._tag_equations(element, children)
+        product = self.product(list(children))
+        solutions = self._tag_equations(element, children, product=product)
         candidate: Optional[int] = None
         for numerator, denominator in solutions:
             if self.coefficient_ring.is_zero(denominator):
@@ -171,16 +229,22 @@ class EncodingRing(abc.ABC):
         if candidate is None:
             raise TagRecoveryError(
                 "no non-trivial equation available to solve for the tag value")
-        if not self.verify_tag(element, children, candidate):
+        if not self.verify_tag(element, children, candidate, product=product):
             raise TagRecoveryError(
                 "coefficient equations are inconsistent; the node polynomial does "
                 "not factor as (x - t) times the product of its children")
         return candidate
 
     def verify_tag(self, element: Polynomial, children: Sequence[Polynomial],
-                   tag_value: int) -> bool:
-        """Check *all* equations of eq. (3) for a claimed tag value."""
-        product = self.product(list(children))
+                   tag_value: int,
+                   product: Optional[Polynomial] = None) -> bool:
+        """Check *all* equations of eq. (3) for a claimed tag value.
+
+        ``product`` may pass in the (reduced) product of the children when
+        the caller already computed it.
+        """
+        if product is None:
+            product = self.product(list(children))
         reconstructed = self.mul(product, self.from_tag_value(tag_value))
         return self.eq(reconstructed, element)
 
@@ -195,18 +259,24 @@ class EncodingRing(abc.ABC):
         return self._tag_equations(element, children)
 
     def _tag_equations(self, element: Polynomial,
-                       children: Sequence[Polynomial]) -> List[Tuple[Any, Any]]:
+                       children: Sequence[Polynomial],
+                       product: Optional[Polynomial] = None
+                       ) -> List[Tuple[Any, Any]]:
         ring = self.coefficient_ring
-        product = self.product(list(children))
+        if product is None:
+            product = self.product(list(children))
         x = self.reduce(Polynomial.x(ring))
         x_times_product = self.mul(product, x)
         # t * product = x*product - f, coefficient-wise in the quotient ring.
         difference = self.sub(x_times_product, element)
-        equations = []
-        for degree in range(self.degree_bound):
-            equations.append((difference.coefficient(degree),
-                              product.coefficient(degree)))
-        return equations
+        zero = ring.zero
+        diff_coeffs = difference.coeffs
+        prod_coeffs = product.coeffs
+        return [
+            (diff_coeffs[degree] if degree < len(diff_coeffs) else zero,
+             prod_coeffs[degree] if degree < len(prod_coeffs) else zero)
+            for degree in range(self.degree_bound)
+        ]
 
     def _tag_to_int(self, value: Any) -> int:
         return int(value)
@@ -243,6 +313,23 @@ class FpQuotientRing(EncodingRing):
         return self.p - 1
 
     def reduce(self, poly: Polynomial) -> Polynomial:
+        if not kernels_enabled():
+            return self._reduce_generic(poly)
+        n = self.p - 1
+        if poly.ring == self.field and len(poly.coeffs) <= n:
+            # Already canonical: coefficients are reduced residues and the
+            # degree is below the bound, so folding would be the identity.
+            return poly
+        p = self.p
+        acc = [0] * n
+        for exponent, coefficient in enumerate(poly.coeffs):
+            coefficient = int(coefficient) % p
+            if coefficient:
+                acc[exponent if exponent < n else exponent % n] += coefficient
+        return Polynomial._from_canonical(_trim([c % p for c in acc]), self.field)
+
+    def _reduce_generic(self, poly: Polynomial) -> Polynomial:
+        """Reference reduction: exponent folding via generic ring calls."""
         coeffs = [self.field.zero] * (self.p - 1)
         for exponent, coefficient in enumerate(poly.coeffs):
             coefficient = self.field.canonical(coefficient)
@@ -251,6 +338,10 @@ class FpQuotientRing(EncodingRing):
             folded = exponent if exponent < self.p - 1 else exponent % (self.p - 1)
             coeffs[folded] = self.field.add(coeffs[folded], coefficient)
         return Polynomial(coeffs, self.field)
+
+    def random_element_from_stream(self, poly_stream: Any) -> Polynomial:
+        coeffs = poly_stream.residues(self.p - 1, self.p)
+        return Polynomial._from_canonical(_trim(coeffs), self.field)
 
     def evaluation_modulus(self, point: int) -> int:
         return self.p
@@ -295,6 +386,12 @@ class IntQuotientRing(EncodingRing):
         self.modulus = modulus
         self.coefficient_ring = IntegerRing(random_bound=random_bound)
         self.name = f"Z[x]/({modulus.pretty()})"
+        # Precomputed remainders x^k mod r(x) for k >= deg r, extended on
+        # demand: row i holds the length-(deg r) coefficient vector of
+        # x^(deg r + i) mod r.  Folding with these rows turns reduction into
+        # a linear pass instead of repeated divmod.
+        self._power_rows: List[List[int]] = []
+        self._eval_moduli: Dict[int, int] = {}
 
     @staticmethod
     def _probably_irreducible(modulus: Polynomial) -> bool:
@@ -327,20 +424,62 @@ class IntQuotientRing(EncodingRing):
     def degree_bound(self) -> int:
         return self.modulus.degree
 
+    def _power_row(self, k: int) -> List[int]:
+        """Coefficient vector of ``x^k mod r(x)`` for ``k >= deg r``."""
+        d = self.modulus.degree
+        rows = self._power_rows
+        if not rows:
+            rows.append([-int(c) for c in self.modulus.coeffs[:d]])
+        low = self.modulus.coeffs
+        while len(rows) <= k - d:
+            prev = rows[-1]
+            top = prev[d - 1]
+            row = [0] + prev[:d - 1]
+            if top:
+                for j in range(d):
+                    row[j] -= top * int(low[j])
+            rows.append(row)
+        return rows[k - d]
+
     def reduce(self, poly: Polynomial) -> Polynomial:
         if poly.ring != self.coefficient_ring:
             poly = Polynomial([int(c) for c in poly.coeffs], self.coefficient_ring)
-        if poly.degree < self.modulus.degree:
+        d = self.modulus.degree
+        if poly.degree < d:
             return poly
-        modulus = Polynomial(list(self.modulus.coeffs), self.coefficient_ring)
-        return poly % modulus
+        if not kernels_enabled():
+            modulus = Polynomial(list(self.modulus.coeffs), self.coefficient_ring)
+            return poly % modulus
+        coeffs = poly.coeffs
+        out = list(coeffs[:d])
+        self._power_row(len(coeffs) - 1)  # extend the table in one go
+        rows = self._power_rows
+        for k in range(d, len(coeffs)):
+            c = coeffs[k]
+            if c:
+                row = rows[k - d]
+                for j in range(d):
+                    out[j] += c * row[j]
+        return Polynomial._from_canonical(_trim(out), self.coefficient_ring)
+
+    def random_element_from_stream(self, poly_stream: Any) -> Polynomial:
+        bound = self.coefficient_ring.random_bound
+        draws = poly_stream.residues(self.modulus.degree, 2 * bound + 1)
+        coeffs = _trim([v - bound for v in draws])
+        return Polynomial._from_canonical(coeffs, self.coefficient_ring)
 
     def evaluation_modulus(self, point: int) -> int:
-        value = abs(int(self.modulus.evaluate(point)))
-        if value <= 1:
-            raise AlgebraError(
-                f"evaluation point {point} gives |r({point})| = {value}; query "
-                "evaluations would be degenerate — choose a different mapping value")
+        value = self._eval_moduli.get(point)
+        if value is None:
+            value = abs(int(self.modulus.evaluate(point)))
+            if value <= 1:
+                raise AlgebraError(
+                    f"evaluation point {point} gives |r({point})| = {value}; query "
+                    "evaluations would be degenerate — choose a different mapping value")
+            # Points come from the (bounded) tag mapping in normal use; the
+            # cap only guards long-lived rings fed adversarial point streams.
+            if len(self._eval_moduli) < 4096:
+                self._eval_moduli[point] = value
         return value
 
     def element_storage_bits(self, element: Polynomial) -> int:

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+from .kernels import Z_KERNEL, kernels_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernels import FpKernel, ZKernel
 
 __all__ = ["CoefficientRing", "IntegerRing", "ZZ"]
 
@@ -94,6 +99,18 @@ class CoefficientRing(abc.ABC):
         """True when every non-zero element is invertible."""
         return False
 
+    # -- fast path ---------------------------------------------------------
+    def kernel(self) -> Optional[Any]:
+        """The ring's flat coefficient kernel, or ``None``.
+
+        When a ring returns a kernel (:mod:`repro.algebra.kernels`),
+        :class:`~repro.algebra.poly.Polynomial` dispatches its arithmetic
+        to it instead of the generic per-element path.  The default is
+        ``None``: the generic implementation is the reference semantics
+        and any ring works without a kernel.
+        """
+        return None
+
     # -- auxiliary ---------------------------------------------------------
     @abc.abstractmethod
     def random_element(self, rng: random.Random) -> Any:
@@ -162,6 +179,9 @@ class IntegerRing(CoefficientRing):
     def canonical(self, a: int) -> int:
         return int(a)
 
+    def kernel(self) -> Optional["ZKernel"]:
+        return Z_KERNEL if kernels_enabled() else None
+
     def random_element(self, rng: random.Random) -> int:
         return rng.randint(-self.random_bound, self.random_bound)
 
@@ -170,7 +190,7 @@ class IntegerRing(CoefficientRing):
         return max(1, int(a).bit_length()) + 1
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, IntegerRing)
+        return other is self or isinstance(other, IntegerRing)
 
     def __hash__(self) -> int:
         return hash("IntegerRing")

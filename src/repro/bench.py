@@ -1,0 +1,204 @@
+"""Quick kernel benchmark suite and the ``BENCH_N.json`` perf snapshots.
+
+This module measures the three rates the fast-kernel layer is judged by:
+
+* polynomial multiplication throughput over ``F_p`` (kernel vs generic);
+* quotient-ring reduction throughput in both encoding rings;
+* end-to-end ``outsource + lookup`` latency on the scaling workload.
+
+The workloads are fully deterministic (fixed seeds, fixed sizes) so that a
+snapshot written by ``python -m repro.cli bench`` or by
+``benchmarks/test_bench_kernels.py`` is comparable across commits; only
+the wall-clock rates vary with the host.  Snapshots are written with
+sorted keys and a stable schema so future perf PRs can diff against
+``BENCH_1.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Any, Callable, Dict, Optional
+
+from .algebra import (
+    FpQuotientRing,
+    IntQuotientRing,
+    Polynomial,
+    PrimeField,
+    ZZ,
+    default_int_modulus,
+    use_kernels,
+)
+from .core import choose_fp_ring, outsource_document
+from .workloads import RandomXmlConfig, generate_random_document
+
+__all__ = ["run_benchmarks", "write_snapshot", "SNAPSHOT_NAME"]
+
+SNAPSHOT_NAME = "BENCH_1"
+
+#: Prime used for the raw F_p multiplication benchmark (large enough that
+#: coefficients are realistic residues, small enough to stay hardware-native).
+_BENCH_PRIME = 10007
+
+
+def _ops_per_sec(fn: Callable[[], Any], min_time: float = 0.10,
+                 repeat: int = 3) -> float:
+    """Best observed throughput of ``fn`` in operations per second."""
+    fn()  # warm-up (also forces lazy tables)
+    number = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time / 4 or number >= 1 << 16:
+            break
+        number *= 4
+    best = elapsed / number
+    for _ in range(repeat - 1):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return 1.0 / best
+
+
+def _timed_pair(fast: Callable[[], Any], generic: Callable[[], Any],
+                min_time: float, repeat: int) -> Dict[str, float]:
+    kernel_rate = _ops_per_sec(fast, min_time, repeat)
+    with use_kernels(False):
+        generic_rate = _ops_per_sec(generic, min_time, repeat)
+    return {
+        "kernel_ops_per_sec": round(kernel_rate, 2),
+        "generic_ops_per_sec": round(generic_rate, 2),
+        "speedup": round(kernel_rate / generic_rate, 2),
+    }
+
+
+def bench_poly_mul(degrees=(16, 64, 128), p: int = _BENCH_PRIME,
+                   min_time: float = 0.10, repeat: int = 3) -> Dict[str, Any]:
+    """Kernel vs generic dense multiplication throughput over ``F_p``."""
+    field = PrimeField(p)
+    rng = random.Random(0xBE7C)
+    results: Dict[str, Any] = {"p": p, "degrees": {}}
+    for degree in degrees:
+        a = Polynomial([rng.randrange(p) for _ in range(degree)] + [1], field)
+        b = Polynomial([rng.randrange(p) for _ in range(degree)] + [1], field)
+        results["degrees"][str(degree)] = _timed_pair(
+            lambda: a * b, lambda: a * b, min_time, repeat)
+    return results
+
+
+def bench_quotient_reduce(min_time: float = 0.10,
+                          repeat: int = 3) -> Dict[str, Any]:
+    """Reduction throughput of both encoding rings on oversized inputs."""
+    rng = random.Random(0x5EED)
+    fp_ring = FpQuotientRing(29)
+    fp_poly = Polynomial([rng.randrange(29) for _ in range(3 * 28)] + [1],
+                         fp_ring.field)
+    int_ring = IntQuotientRing(default_int_modulus(2))
+    int_poly = Polynomial([rng.randrange(-10 ** 9, 10 ** 9) for _ in range(12)] + [1],
+                          ZZ)
+    return {
+        "fp": dict(_timed_pair(lambda: fp_ring.reduce(fp_poly),
+                               lambda: fp_ring.reduce(fp_poly),
+                               min_time, repeat),
+                   ring=fp_ring.name, input_degree=fp_poly.degree),
+        "int": dict(_timed_pair(lambda: int_ring.reduce(int_poly),
+                                lambda: int_ring.reduce(int_poly),
+                                min_time, repeat),
+                    ring=int_ring.name, input_degree=int_poly.degree),
+    }
+
+
+def _outsource_and_lookup(document, tag: str) -> None:
+    client, server_tree, _ = outsource_document(
+        document, ring=choose_fp_ring(document), seed=b"bench-kernels")
+    outcome = client.lookup(server_tree, tag)
+    assert outcome.matches or outcome.zero_nodes or outcome.pruned_nodes is not None
+
+
+def bench_end_to_end(sizes=(50, 100, 200), vocabulary: int = 24,
+                     repeat: int = 5) -> Dict[str, Any]:
+    """End-to-end outsource+lookup latency on the scaling workload.
+
+    Mirrors ``benchmarks/test_bench_scaling.py``: random skewed documents,
+    a selective ``//tag0`` lookup, one encode+share+query pass per size.
+    """
+    results: Dict[str, Any] = {"vocabulary": vocabulary, "sizes": {}}
+    total_fast = total_generic = 0.0
+    for n in sizes:
+        document = generate_random_document(
+            RandomXmlConfig(element_count=n, tag_vocabulary_size=vocabulary,
+                            tag_skew=1.2, seed=n + 1))
+        # A selective tag that is guaranteed present (deterministic choice).
+        tags = sorted(document.distinct_tags())
+        tag = tags[len(tags) // 2]
+        fast = _ops_per_sec(lambda: _outsource_and_lookup(document, tag),
+                            min_time=0.0, repeat=repeat)
+        with use_kernels(False):
+            generic = _ops_per_sec(lambda: _outsource_and_lookup(document, tag),
+                                   min_time=0.0, repeat=repeat)
+        fast_ms = 1000.0 / fast
+        generic_ms = 1000.0 / generic
+        total_fast += fast_ms
+        total_generic += generic_ms
+        results["sizes"][str(n)] = {
+            "kernel_ms": round(fast_ms, 3),
+            "generic_ms": round(generic_ms, 3),
+            "speedup": round(generic_ms / fast_ms, 2),
+        }
+    results["total_kernel_ms"] = round(total_fast, 3)
+    results["total_generic_ms"] = round(total_generic, 3)
+    results["speedup"] = round(total_generic / total_fast, 2)
+    return results
+
+
+def run_benchmarks(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
+    """Run the whole quick suite and return the snapshot dictionary."""
+    min_time = 0.02 if quick else 0.10
+    sizes = (50, 100) if quick else (50, 100, 200, 400)
+    degrees = (16, 64) if quick else (16, 64, 128)
+    return {
+        "snapshot": SNAPSHOT_NAME,
+        "description": "fast-kernel algebra layer: kernel vs generic reference path",
+        "config": {
+            "quick": quick,
+            "repeat": repeat,
+            "sizes": list(sizes),
+            "degrees": list(degrees),
+        },
+        "poly_mul_fp": bench_poly_mul(degrees, min_time=min_time, repeat=repeat),
+        "quotient_reduce": bench_quotient_reduce(min_time=min_time, repeat=repeat),
+        "end_to_end": bench_end_to_end(sizes, repeat=max(repeat, 5)),
+    }
+
+
+def write_snapshot(results: Dict[str, Any], path: str) -> str:
+    """Write a snapshot deterministically (sorted keys, stable layout)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a snapshot."""
+    lines = [f"snapshot {results['snapshot']}"]
+    for degree, row in sorted(results["poly_mul_fp"]["degrees"].items(),
+                              key=lambda item: int(item[0])):
+        lines.append(
+            f"  poly mul F_p deg {degree:>4}: {row['kernel_ops_per_sec']:>12.0f} ops/s "
+            f"(generic {row['generic_ops_per_sec']:.0f}, x{row['speedup']})")
+    for name, row in sorted(results["quotient_reduce"].items()):
+        lines.append(
+            f"  reduce {name:>3} ({row['ring']}): {row['kernel_ops_per_sec']:>10.0f} ops/s "
+            f"(x{row['speedup']})")
+    e2e = results["end_to_end"]
+    for n, row in sorted(e2e["sizes"].items(), key=lambda item: int(item[0])):
+        lines.append(
+            f"  outsource+lookup n={n:>4}: {row['kernel_ms']:.2f} ms "
+            f"(generic {row['generic_ms']:.2f} ms, x{row['speedup']})")
+    lines.append(f"  end-to-end total: x{e2e['speedup']}")
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ Usage::
     python -m repro.cli lookup server.json client.json client --mode none
     python -m repro.cli inspect server.json
     python -m repro.cli decode server.json client.json 3
+    python -m repro.cli bench --quick --out BENCH_1.json
 """
 
 from __future__ import annotations
@@ -87,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument("server_file")
     decode.add_argument("client_file")
     decode.add_argument("node_id", type=int)
+
+    bench = commands.add_parser(
+        "bench", help="run the quick kernel benchmark suite and write a "
+                      "JSON perf snapshot")
+    bench.add_argument("--out", default="BENCH_1.json",
+                       help="snapshot path (default: BENCH_1.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller sizes/degrees for a fast smoke run")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timing repetitions per measurement (default: 3)")
     return parser
 
 
@@ -178,12 +189,23 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import format_summary, run_benchmarks, write_snapshot
+
+    results = run_benchmarks(quick=args.quick, repeat=args.repeat)
+    write_snapshot(results, args.out)
+    print(format_summary(results))
+    print(f"snapshot written to {args.out}")
+    return 0
+
+
 _HANDLERS = {
     "outsource": _cmd_outsource,
     "lookup": _cmd_lookup,
     "query": _cmd_query,
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
+    "bench": _cmd_bench,
 }
 
 

@@ -156,8 +156,7 @@ class LocalServerAdapter(ServerInterface):
     def evaluate(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
         self.observed_points.append(point)
         self.evaluation_requests += len(node_ids)
-        return {node_id: self.share_tree.evaluate(node_id, point)
-                for node_id in node_ids}
+        return self.share_tree.evaluate_many(node_ids, point)
 
     def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
         return {node_id: self.share_tree.share_of(node_id) for node_id in node_ids}
@@ -289,17 +288,18 @@ class QueryEngine:
 
     def _sum_evaluations(self, node_ids: Sequence[int], point: int,
                          stats: QueryStats) -> Dict[int, int]:
-        """Server round trip + local share evaluation + per-node sums."""
+        """Server round trip + batched local share evaluation + per-node sums."""
         if not node_ids:
             return {}
         server_values = self.server.evaluate(node_ids, point)
         stats.round_trips += 1
         stats.evaluations += len(node_ids)
+        client_values = self.client_shares.evaluate_many(node_ids, point)
+        modulus = self.ring.evaluation_modulus(point)
         sums: Dict[int, int] = {}
         for node_id in node_ids:
-            client_value = self.client_shares.evaluate(node_id, point)
-            sums[node_id] = self.ring.evaluation_add(
-                client_value, server_values[node_id], point)
+            total = client_values[node_id] + server_values[node_id]
+            sums[node_id] = total if modulus is None else total % modulus
         return sums
 
     def _descend(self, points: Sequence[int], stats: QueryStats,

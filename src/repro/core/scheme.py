@@ -80,12 +80,16 @@ class ClientContext:
 
     def __init__(self, ring: EncodingRing, mapping: TagMapping,
                  prg: DeterministicPRG,
-                 verification: VerificationMode = VerificationMode.FULL) -> None:
+                 verification: VerificationMode = VerificationMode.FULL,
+                 share_cache_size: int = 1024) -> None:
         self.ring = ring
         self.mapping = mapping
         self.prg = prg
         self.verification = verification
-        self._share_generator = ClientShareGenerator(ring, prg)
+        # The generator (and its share LRU) is shared by every engine this
+        # context creates, so repeated queries reuse derived shares.
+        self._share_generator = ClientShareGenerator(ring, prg,
+                                                     cache_size=share_cache_size)
 
     # -- plumbing ---------------------------------------------------------------
     @property
@@ -175,11 +179,18 @@ class ClientContext:
         return parent[node_id]
 
     # -- persistence ---------------------------------------------------------------------
+    #: Identifies how client shares are derived from the seed.  Server shares
+    #: are ``polynomial - client_share``, so a client state replayed against a
+    #: server tree written under a *different* derivation would silently
+    #: reconstruct garbage; the marker turns that into a loud error.
+    SHARE_DERIVATION = "hmac-stream-v2"
+
     def secret_state(self) -> Dict[str, str]:
         """The client's durable secrets: the seed and the tag mapping."""
         return {
             "seed": self.prg.seed.hex(),
             "mapping": self.mapping.to_json(),
+            "share_derivation": self.SHARE_DERIVATION,
         }
 
     @classmethod
@@ -187,6 +198,13 @@ class ClientContext:
                           verification: VerificationMode = VerificationMode.FULL
                           ) -> "ClientContext":
         """Rebuild a client context from :meth:`secret_state` output."""
+        derivation = state.get("share_derivation", "python-random-v1")
+        if derivation != cls.SHARE_DERIVATION:
+            raise QueryError(
+                f"client state uses share derivation {derivation!r} but this "
+                f"version regenerates shares with {cls.SHARE_DERIVATION!r}; "
+                "lookups would silently return wrong results — re-outsource "
+                "the document to refresh both files")
         prg = DeterministicPRG(bytes.fromhex(state["seed"]))
         mapping = TagMapping.from_json(state["mapping"])
         return cls(ring, mapping, prg, verification)
@@ -218,6 +236,9 @@ def outsource_document(document: XmlDocument,
         mapping.extend(document.distinct_tags())
     prg = DeterministicPRG(seed) if seed is not None else DeterministicPRG.generate()
     tree = encode_document(document, mapping, ring)
-    client_generator, server_tree = share_tree(tree, prg)
     client = ClientContext(ring, mapping, prg, verification)
+    # Split with the client's own generator so its share cache is already
+    # warm when the first queries arrive.
+    client_generator, server_tree = share_tree(tree, prg,
+                                               generator=client.share_generator)
     return client, server_tree, tree

@@ -13,7 +13,8 @@ on demand ("only the seed has to be stored on the client").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algebra.poly import Polynomial
 from ..algebra.quotient import EncodingRing
@@ -28,20 +29,46 @@ _SHARE_LABEL = "node-share"
 
 
 class ClientShareGenerator:
-    """Regenerates the client's random share for any node from the seed."""
+    """Regenerates the client's random share for any node from the seed.
 
-    def __init__(self, ring: EncodingRing, prg: DeterministicPRG) -> None:
+    Shares are deterministic in ``(seed, node_id)``, so an LRU cache makes
+    repeated queries (which re-derive the same PRG share polynomials on
+    every descent and verification) cost one derivation per node instead of
+    one per use.  ``cache_size=0`` disables the cache.
+    """
+
+    def __init__(self, ring: EncodingRing, prg: DeterministicPRG,
+                 cache_size: int = 1024) -> None:
         self.ring = ring
         self.prg = prg
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[int, Polynomial]" = OrderedDict()
+        # Domain-separated root stream for shares: per-node streams are
+        # cheap forks of it (no per-node seed derivation or key schedule).
+        self._share_root = prg.stream(_SHARE_LABEL)
 
     def share_for(self, node_id: int) -> Polynomial:
         """The client's share polynomial for ``node_id`` (deterministic)."""
-        rng = self.prg.python_random(_SHARE_LABEL, node_id)
-        return self.ring.random_element(rng)
+        cache = self._cache
+        share = cache.get(node_id)
+        if share is not None:
+            cache.move_to_end(node_id)
+            return share
+        share = self.ring.random_element_from_stream(self._share_root.fork(node_id))
+        if self.cache_size > 0:
+            cache[node_id] = share
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
+        return share
 
     def evaluate(self, node_id: int, point: int) -> int:
         """Evaluate the client's share of ``node_id`` at a query point."""
         return self.ring.evaluate(self.share_for(node_id), point)
+
+    def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Evaluate the client's shares of many nodes at one point."""
+        shares = [self.share_for(node_id) for node_id in node_ids]
+        return dict(zip(node_ids, self.ring.evaluate_many(shares, point)))
 
     def shares_for(self, node_ids: Iterable[int]) -> Dict[int, Polynomial]:
         """Client shares for several nodes at once."""
@@ -74,7 +101,10 @@ class ServerShareTree:
             self.root_id = node_id
         elif parent_id not in self.shares:
             raise SharingError(f"parent {parent_id} of node {node_id} is unknown")
-        self.shares[node_id] = self.ring.reduce(share)
+        # Shares produced by ring operations are already canonical; only
+        # reduce foreign polynomials (e.g. deserialized or hand-built ones).
+        self.shares[node_id] = (share if self.ring.is_canonical(share)
+                                else self.ring.reduce(share))
         self.parents[node_id] = parent_id
         self.children.setdefault(node_id, [])
         if parent_id is not None:
@@ -91,6 +121,11 @@ class ServerShareTree:
     def evaluate(self, node_id: int, point: int) -> int:
         """Evaluate the server's share of a node at a query point (§4.3)."""
         return self.ring.evaluate(self.share_of(node_id), point)
+
+    def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Evaluate many node shares at one point (one batched pass)."""
+        shares = [self.share_of(node_id) for node_id in node_ids]
+        return dict(zip(node_ids, self.ring.evaluate_many(shares, point)))
 
     def child_ids(self, node_id: int) -> List[int]:
         """Public child list of a node."""
@@ -133,10 +168,16 @@ class ServerShareTree:
         return f"<ServerShareTree ring={self.ring.name} nodes={len(self.shares)}>"
 
 
-def share_tree(tree: PolynomialTree,
-               prg: DeterministicPRG) -> Tuple[ClientShareGenerator, ServerShareTree]:
-    """Split an encoded tree into the client generator and the server tree."""
-    generator = ClientShareGenerator(tree.ring, prg)
+def share_tree(tree: PolynomialTree, prg: DeterministicPRG,
+               generator: Optional[ClientShareGenerator] = None,
+               ) -> Tuple[ClientShareGenerator, ServerShareTree]:
+    """Split an encoded tree into the client generator and the server tree.
+
+    Passing an existing ``generator`` (e.g. the one owned by a
+    :class:`~repro.core.scheme.ClientContext`) leaves its share cache warm
+    for the queries that follow outsourcing.
+    """
+    generator = generator or ClientShareGenerator(tree.ring, prg)
     server = ServerShareTree(tree.ring)
     for node in tree.iter_preorder():
         client_share = generator.share_for(node.node_id)

@@ -139,3 +139,23 @@ class TestInspectAndDecode:
         code = main(["lookup", fp_server, int_client, "client"])
         assert code == 1
         assert "different ring" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_writes_snapshot(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_TEST.json")
+        assert main(["bench", "--quick", "--repeat", "1", "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "snapshot BENCH_1" in output
+        assert "end-to-end" in output
+        with open(out, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["snapshot"] == "BENCH_1"
+        assert "poly_mul_fp" in snapshot
+        assert "quotient_reduce" in snapshot
+        # Shape only — threshold checks live in benchmarks/test_bench_kernels.py
+        # where timing is controlled; asserting a ratio here would be flaky.
+        assert snapshot["end_to_end"]["speedup"] > 0.0
+
+    def test_bench_command_listed(self):
+        assert "bench" in build_parser().format_help()

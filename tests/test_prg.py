@@ -87,3 +87,26 @@ class TestDeterministicPRG:
 
     def test_int_seed_supported(self):
         assert DeterministicPRG(12345).stream("a").read(8)
+
+
+class TestStreamForksAndResidues:
+    def test_fork_is_domain_separated(self):
+        root = SeededStream(b"k")
+        assert root.fork(1).read(32) != root.fork(2).read(32)
+        assert root.fork(1).read(32) == SeededStream(b"k").fork(1).read(32)
+        # The parent stream is untouched by forking.
+        assert root.read(32) == SeededStream(b"k").read(32)
+
+    def test_unlabelled_fork_is_rejected(self):
+        with pytest.raises(ValueError):
+            SeededStream(b"k").fork()
+
+    def test_residues_bounds_and_determinism(self):
+        for bound in (2, 5, 29, 257, 65537):
+            values = SeededStream(b"k").residues(500, bound)
+            assert len(values) == 500
+            assert all(0 <= v < bound for v in values)
+            assert values == SeededStream(b"k").residues(500, bound)
+        assert SeededStream(b"k").residues(0, 7) == []
+        with pytest.raises(ValueError):
+            SeededStream(b"k").residues(3, 0)
