@@ -35,7 +35,12 @@ from .core import (
     outsource_document,
 )
 from .errors import ReproError
-from .net import load_share_tree, ring_to_dict, save_share_tree
+from .net import (
+    SQLiteShareStore,
+    open_share_store,
+    ring_to_dict,
+    save_share_tree,
+)
 from .xmltree import parse_document
 
 __all__ = ["main", "build_parser"]
@@ -61,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="client seed (hex or passphrase); random if omitted")
     outsource.add_argument("--ring", choices=["fp", "int"], default="fp",
                            help="encoding ring: F_p[x]/(x^(p-1)-1) or Z[x]/(x^2+1)")
+    outsource.add_argument("--store", choices=["json", "sqlite"], default="json",
+                           help="server-side backend: one JSON blob (loaded "
+                                "whole) or a durable SQLite file with lazy "
+                                "share loading (default: json)")
     outsource.add_argument("--allow-p-minus-one", action="store_true",
                            help="allow mapping values equal to p-1 (paper's example)")
 
@@ -92,12 +101,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="run the quick kernel benchmark suite and write a "
                       "JSON perf snapshot")
-    bench.add_argument("--out", default="BENCH_1.json",
-                       help="snapshot path (default: BENCH_1.json)")
+    bench.add_argument("--out", default=None,
+                       help="snapshot path (default: BENCH_1.json, or "
+                            "BENCH_2.json with --serving)")
     bench.add_argument("--quick", action="store_true",
                        help="smaller sizes/degrees for a fast smoke run")
     bench.add_argument("--repeat", type=int, default=3,
                        help="timing repetitions per measurement (default: 3)")
+    bench.add_argument("--serving", action="store_true",
+                       help="run the serving-engine benchmark (multi-document, "
+                            "concurrency, batched vs v1 protocol) instead of "
+                            "the kernel suite")
     return parser
 
 
@@ -128,7 +142,12 @@ def _cmd_outsource(args: argparse.Namespace) -> int:
     client, server_tree, _ = outsource_document(
         document, ring=ring, seed=_seed_bytes(args.seed), strict=strict)
 
-    size = save_share_tree(server_tree, args.server_out)
+    if args.store == "sqlite":
+        store = SQLiteShareStore.from_tree(args.server_out, server_tree)
+        size = store.file_bytes()
+        store.close()
+    else:
+        size = save_share_tree(server_tree, args.server_out)
     with open(args.client_out, "w", encoding="utf-8") as handle:
         json.dump({"ring": ring_to_dict(ring), "secrets": client.secret_state()},
                   handle, indent=2)
@@ -141,7 +160,7 @@ def _cmd_outsource(args: argparse.Namespace) -> int:
 
 
 def _cmd_lookup(args: argparse.Namespace) -> int:
-    server_tree = load_share_tree(args.server_file)
+    server_tree = open_share_store(args.server_file)
     client = _load_client(args.client_file, server_tree)
     outcome = client.lookup(server_tree, args.tag,
                             verification=VerificationMode(args.mode))
@@ -157,7 +176,7 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    server_tree = load_share_tree(args.server_file)
+    server_tree = open_share_store(args.server_file)
     client = _load_client(args.client_file, server_tree)
     result = client.xpath(server_tree, args.xpath,
                           strategy=AdvancedStrategy(args.strategy))
@@ -170,7 +189,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    server_tree = load_share_tree(args.server_file)
+    server_tree = open_share_store(args.server_file)
+    print(f"backend:     {type(server_tree).__name__}")
     print(f"ring:        {server_tree.ring.name}")
     print(f"nodes:       {server_tree.node_count()}")
     print(f"storage:     {server_tree.storage_bits()} bits "
@@ -183,19 +203,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_decode(args: argparse.Namespace) -> int:
-    server_tree = load_share_tree(args.server_file)
+    server_tree = open_share_store(args.server_file)
     client = _load_client(args.client_file, server_tree)
     print(client.tag_path_of(server_tree, args.node_id))
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import format_summary, run_benchmarks, write_snapshot
+    from .bench import (
+        format_serving_summary,
+        format_summary,
+        run_benchmarks,
+        run_serving_benchmarks,
+        write_snapshot,
+    )
 
-    results = run_benchmarks(quick=args.quick, repeat=args.repeat)
-    write_snapshot(results, args.out)
-    print(format_summary(results))
-    print(f"snapshot written to {args.out}")
+    if args.serving:
+        results = run_serving_benchmarks(quick=args.quick)
+        out = args.out or "BENCH_2.json"
+        write_snapshot(results, out)
+        print(format_serving_summary(results))
+    else:
+        results = run_benchmarks(quick=args.quick, repeat=args.repeat)
+        out = args.out or "BENCH_1.json"
+        write_snapshot(results, out)
+        print(format_summary(results))
+    print(f"snapshot written to {out}")
     return 0
 
 

@@ -6,6 +6,7 @@ from .advanced import AdvancedQueryExecutor, AdvancedQueryResult, AdvancedStrate
 from .encoder import PolynomialNode, PolynomialTree, encode_document, encode_element
 from .mapping import TagMapping
 from .query import (
+    FrontierResult,
     LocalServerAdapter,
     LookupOutcome,
     QueryEngine,
@@ -53,6 +54,7 @@ __all__ = [
     "reconstruct_tree",
     "QueryEngine",
     "QueryStats",
+    "FrontierResult",
     "LookupOutcome",
     "LocalServerAdapter",
     "ServerInterface",

@@ -75,18 +75,22 @@ class AdvancedQueryExecutor:
         stats = result.stats
 
         context: Optional[List[int]] = None  # None = the virtual document context
-        for index, step in enumerate(plan.steps):
-            containment_tags = self._containment_tags(step, strategy)
-            candidates = self._candidates_for_step(context, step.axis, index == 0,
-                                                   containment_tags, stats)
-            anchored = self._anchor(candidates, step.tag, stats)
-            result.per_step_candidates.append(len(anchored))
-            if not anchored:
-                result.matches = []
-                return result
-            context = sorted(anchored)
-        result.matches = sorted(set(context or []))
-        return result
+        try:
+            for index, step in enumerate(plan.steps):
+                containment_tags = self._containment_tags(step, strategy)
+                candidates = self._candidates_for_step(context, step.axis, index == 0,
+                                                       containment_tags, stats)
+                anchored = self._anchor(candidates, step.tag, stats)
+                result.per_step_candidates.append(len(anchored))
+                if not anchored:
+                    result.matches = []
+                    return result
+                context = sorted(anchored)
+            result.matches = sorted(set(context or []))
+            return result
+        finally:
+            # Deliver prune notices still buffered by a batched transport.
+            stats.round_trips += self.engine.server.flush_prunes()
 
     # -- step machinery --------------------------------------------------------------------
     @staticmethod

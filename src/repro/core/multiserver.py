@@ -36,7 +36,7 @@ from ..prg import DeterministicPRG
 from ..sharing.multiserver import ThresholdPolynomialSharing
 from ..xmltree import XmlDocument
 from .mapping import TagMapping
-from .query import ServerInterface
+from .query import FrontierResult, ServerInterface
 from .scheme import ClientContext, choose_fp_ring, outsource_document
 from .share_tree import ServerShareTree
 
@@ -52,6 +52,10 @@ class ThresholdServerGroup(ServerInterface):
     the servers listed in ``online`` are contacted; at least ``threshold``
     of them must be present.
     """
+
+    #: A quorum exchange is expensive (k parallel requests), so whole
+    #: frontier rounds are batched into one exchange per tree level.
+    batched_rounds = True
 
     def __init__(self, sharing: ThresholdPolynomialSharing,
                  server_trees: Dict[int, ServerShareTree],
@@ -102,6 +106,38 @@ class ThresholdServerGroup(ServerInterface):
             combined[node_id] = self.sharing.combine_evaluations(
                 {index: per_server[index][node_id] for index in self.quorum})
         return combined
+
+    def frontier_round(self, node_ids: Sequence[int], points: Sequence[int],
+                       prune: Sequence[int] = (), include_children: bool = True,
+                       lookahead: int = 0) -> FrontierResult:
+        """One descent round against the quorum as a single batched exchange.
+
+        Every member of the quorum is visited once for the whole round (all
+        points at a time) instead of once per request kind, mirroring the
+        v2 single-server protocol: the round costs one parallel quorum
+        exchange, counted as one round trip.  ``lookahead`` is ignored —
+        the group is in-process, so speculation would only waste work.
+        """
+        if prune:
+            self.prune(list(prune))
+        evaluations: Dict[int, Dict[int, int]] = {}
+        per_server: Dict[int, Dict[int, Dict[int, int]]] = {}
+        for index in self.quorum:
+            tree = self.server_trees[index]
+            per_server[index] = {
+                point: {node_id: tree.evaluate(node_id, point)
+                        for node_id in node_ids}
+                for point in points}
+            self.evaluations_per_server[index] += len(node_ids) * len(points)
+        for point in points:
+            evaluations[point] = {
+                node_id: self.sharing.combine_evaluations(
+                    {index: per_server[index][point][node_id]
+                     for index in self.quorum})
+                for node_id in node_ids}
+        children = (self.children_of(node_ids)
+                    if include_children and node_ids else {})
+        return FrontierResult(evaluations, children, round_trips=1)
 
     def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
         result: Dict[int, Polynomial] = {}

@@ -38,6 +38,7 @@ from .share_tree import ClientShareGenerator, ServerShareTree
 __all__ = [
     "VerificationMode",
     "QueryStats",
+    "FrontierResult",
     "ServerInterface",
     "LocalServerAdapter",
     "LookupOutcome",
@@ -96,8 +97,31 @@ class QueryStats:
         return f"QueryStats({fields})"
 
 
+class FrontierResult:
+    """What one descent round returns, plus its transport cost."""
+
+    __slots__ = ("evaluations", "children", "round_trips")
+
+    def __init__(self, evaluations: Dict[int, Dict[int, int]],
+                 children: Dict[int, List[int]], round_trips: int) -> None:
+        #: ``point -> node_id -> server share evaluation``.
+        self.evaluations = evaluations
+        #: Child lists of every frontier node (empty when not requested).
+        self.children = children
+        #: Request/response exchanges this round actually cost.
+        self.round_trips = round_trips
+
+
 class ServerInterface(abc.ABC):
     """The requests a client may send to the (untrusted) search server."""
+
+    #: True for transports that answer a whole frontier round natively in
+    #: one exchange (the batched v2 protocol).  The engine then evaluates
+    #: the full frontier at every point up front — extra share evaluations
+    #: for nodes that die at the first point, in exchange for O(depth)
+    #: round trips.  Chatty-but-minimal-work transports (in-process, v1)
+    #: leave this False and get the original lazy per-point descent.
+    batched_rounds = False
 
     @abc.abstractmethod
     def root_id(self) -> int:
@@ -126,6 +150,62 @@ class ServerInterface(abc.ABC):
     @abc.abstractmethod
     def prune(self, node_ids: Sequence[int]) -> None:
         """Inform the server that these subtrees are dead for the current query."""
+
+    # -- batched protocol (default: composed from the primitives above) ---------------
+    def frontier_round(self, node_ids: Sequence[int], points: Sequence[int],
+                       prune: Sequence[int] = (), include_children: bool = True,
+                       lookahead: int = 0) -> FrontierResult:
+        """One whole descent round: prune notice, evaluations, child lists.
+
+        The base implementation composes the per-kind primitives (one
+        exchange each — the v1 behaviour) and never speculates
+        (``lookahead`` is ignored: a chatty transport gains nothing from
+        it); transports that support the v2 wire protocol override it with
+        a single batched exchange that may cover several levels.
+        """
+        round_trips = 0
+        if prune:
+            self.prune(list(prune))
+            round_trips += 1
+        evaluations: Dict[int, Dict[int, int]] = {}
+        for point in points:
+            evaluations[point] = self.evaluate(node_ids, point)
+            round_trips += 1
+        children: Dict[int, List[int]] = {}
+        if include_children and node_ids:
+            children = self.children_of(node_ids)
+            round_trips += 1
+        return FrontierResult(evaluations, children, round_trips)
+
+    def verification_bundle(self, node_ids: Sequence[int],
+                            constants_only: bool = False
+                            ) -> Tuple[Dict[int, List[int]], Dict[int, object], int]:
+        """Child lists plus share data for ``node_ids`` *and their children*.
+
+        Verification (Theorem 1/2) always needs a candidate's children, so
+        the v2 transport answers both in one exchange; the base
+        implementation composes the two v1 requests.  Returns
+        ``(children, data, round_trips)`` where ``data`` maps every node in
+        the closure to its share polynomial (or constant coefficient when
+        ``constants_only``).
+        """
+        children = self.children_of(node_ids)
+        needed = sorted(set(node_ids) | {
+            child for node_id in node_ids for child in children[node_id]})
+        if constants_only:
+            data: Dict[int, object] = dict(self.fetch_constants(needed))
+        else:
+            data = dict(self.fetch_polynomials(needed))
+        return children, data, 2
+
+    def flush_prunes(self) -> int:
+        """Deliver any buffered prune notices; returns round trips spent.
+
+        Transports that piggyback prune notices on later requests override
+        this; for everything else pruning is immediate and there is nothing
+        to flush.
+        """
+        return 0
 
 
 class LocalServerAdapter(ServerInterface):
@@ -202,12 +282,15 @@ class QueryEngine:
 
     def __init__(self, ring: EncodingRing, mapping: TagMapping,
                  client_shares: ClientShareGenerator, server: ServerInterface,
-                 verification: VerificationMode = VerificationMode.FULL) -> None:
+                 verification: VerificationMode = VerificationMode.FULL,
+                 frontier_lookahead: int = 1) -> None:
         self.ring = ring
         self.mapping = mapping
         self.client_shares = client_shares
         self.server = server
         self.verification = verification
+        #: Speculative depth per batched frontier exchange (v2 transports).
+        self.frontier_lookahead = frontier_lookahead
         # Cache of the public structure discovered so far (children lists).
         self._children_cache: Dict[int, List[int]] = {}
 
@@ -224,6 +307,7 @@ class QueryEngine:
         outcome.pruned_nodes = sorted(pruned)
 
         self._classify_candidates(outcome, point, evaluations, stats)
+        stats.round_trips += self.server.flush_prunes()
         return outcome
 
     def containment_frontier(self, tags: Sequence[str],
@@ -244,10 +328,32 @@ class QueryEngine:
                           stats: QueryStats) -> List[int]:
         """Subset of ``node_ids`` whose subtree contains *all* ``tags``.
 
-        A single evaluation round per tag, no descent — used by the advanced
-        query executor for child-axis steps.
+        A single evaluation round per tag (or, over a batched transport, one
+        exchange for *all* tags), no descent — used by the advanced query
+        executor for child-axis steps.
         """
         alive = list(node_ids)
+        if self.server.batched_rounds and alive and tags:
+            points = [self.mapping.value(tag) for tag in tags]
+            stats.points_sent += len(set(points))
+            result = self.server.frontier_round(alive, points,
+                                                include_children=False)
+            stats.round_trips += result.round_trips
+            for point in points:
+                server_values = result.evaluations[point]
+                stats.evaluations += len(server_values)
+                client_values = self.client_shares.evaluate_many(alive, point)
+                modulus = self.ring.evaluation_modulus(point)
+                still_alive = []
+                for node_id in alive:
+                    total = client_values[node_id] + server_values[node_id]
+                    if modulus is not None:
+                        total %= modulus
+                    if self.ring.evaluation_is_zero(total, point):
+                        still_alive.append(node_id)
+                alive = still_alive
+            stats.nodes_evaluated += len(set(node_ids))
+            return alive
         for tag in tags:
             if not alive:
                 break
@@ -307,9 +413,92 @@ class QueryEngine:
                  ) -> Tuple[Set[int], Set[int], Dict[Tuple[int, int], int]]:
         """Breadth-first descent pruning on *all* ``points`` simultaneously.
 
+        Each level is one :meth:`ServerInterface.frontier_round`: the whole
+        frontier is evaluated at every query point and its child lists are
+        fetched speculatively in the same exchange (children of nodes that
+        turn out dead cost bytes but never an extra round trip).  Dead
+        branches found at one level are reported as the prune list of the
+        *next* level's round — batched transports piggyback them for free.
+
         Returns ``(zero_nodes, pruned_nodes, evaluations)`` where
         ``evaluations[(node_id, point)]`` is the summed evaluation value and
         ``zero_nodes`` are the nodes whose sums are zero at *every* point.
+        """
+        if self.server.batched_rounds:
+            return self._descend_batched(points, stats, start_nodes)
+        return self._descend_lazy(points, stats, start_nodes)
+
+    def _descend_batched(self, points: Sequence[int], stats: QueryStats,
+                         start_nodes: Optional[Sequence[int]] = None
+                         ) -> Tuple[Set[int], Set[int], Dict[Tuple[int, int], int]]:
+        """Descent over a batched transport.
+
+        Each exchange covers the current frontier *plus*
+        ``frontier_lookahead`` speculated levels; the engine consumes the
+        speculated evaluations locally and only goes back to the server
+        when the frontier outruns the data it already holds.
+        """
+        frontier: List[int] = (list(start_nodes) if start_nodes is not None
+                               else [self.server.root_id()])
+        zero_nodes: Set[int] = set()
+        pruned: Set[int] = set()
+        evaluations: Dict[Tuple[int, int], int] = {}
+        touched: Set[int] = set()
+        pending_dead: List[int] = []
+        # Server data received so far: per-point evaluations and child lists.
+        server_values: Dict[int, Dict[int, int]] = {point: {} for point in points}
+        known_children: Dict[int, List[int]] = {}
+
+        while frontier:
+            touched.update(frontier)
+            if any(node_id not in server_values[point]
+                   for point in points for node_id in frontier):
+                result = self.server.frontier_round(
+                    frontier, points, prune=pending_dead,
+                    lookahead=self.frontier_lookahead)
+                pending_dead = []
+                stats.round_trips += result.round_trips
+                for point in points:
+                    received = result.evaluations[point]
+                    server_values[point].update(received)
+                    stats.evaluations += len(received)
+                known_children.update(result.children)
+                self._children_cache.update(result.children)
+            # A node stays alive only if its summed evaluation is zero at
+            # *all* points (its subtree contains every queried tag).
+            zero_at_all: Dict[int, bool] = {node_id: True for node_id in frontier}
+            for point in points:
+                client_values = self.client_shares.evaluate_many(frontier, point)
+                modulus = self.ring.evaluation_modulus(point)
+                received = server_values[point]
+                for node_id in frontier:
+                    total = client_values[node_id] + received[node_id]
+                    if modulus is not None:
+                        total %= modulus
+                    evaluations[(node_id, point)] = total
+                    if not self.ring.evaluation_is_zero(total, point):
+                        zero_at_all[node_id] = False
+            alive = [node_id for node_id in frontier if zero_at_all[node_id]]
+            dead = [node_id for node_id in frontier if not zero_at_all[node_id]]
+            pending_dead.extend(dead)
+            pruned.update(dead)
+            stats.nodes_pruned += len(dead)
+            zero_nodes.update(alive)
+            frontier = [child for node_id in alive
+                        for child in known_children.get(node_id, [])]
+        if pending_dead:
+            self.server.prune(pending_dead)
+        stats.nodes_evaluated += len(touched)
+        return zero_nodes, pruned, evaluations
+
+    def _descend_lazy(self, points: Sequence[int], stats: QueryStats,
+                      start_nodes: Optional[Sequence[int]] = None
+                      ) -> Tuple[Set[int], Set[int], Dict[Tuple[int, int], int]]:
+        """Descent over a chatty transport: lazy per-point evaluation.
+
+        Nodes dead at an earlier point are never evaluated at later points
+        and only the live part of the frontier has its children fetched —
+        minimal server work and bytes, at one exchange per request kind.
         """
         frontier: List[int] = (list(start_nodes) if start_nodes is not None
                                else [self.server.root_id()])
@@ -321,8 +510,6 @@ class QueryEngine:
         while frontier:
             touched.update(frontier)
             alive: List[int] = list(frontier)
-            # Evaluate at every query point; a node stays alive only if it is
-            # zero for all points (its subtree contains every queried tag).
             for point in points:
                 if not alive:
                     break
@@ -399,6 +586,29 @@ class QueryEngine:
                 self.client_shares.share_for(node_id), server_shares[node_id])
         return full
 
+    def _verification_children(self, candidates: Sequence[int], stats: QueryStats,
+                               constants_only: bool
+                               ) -> Tuple[Dict[int, List[int]], Optional[Dict[int, object]]]:
+        """Child lists of ``candidates`` plus, on a cache miss, their share data.
+
+        When every candidate's children are already cached (the common case
+        after a descent) only the cached structure is returned and the
+        caller fetches share data separately.  Otherwise one
+        :meth:`ServerInterface.verification_bundle` exchange answers both —
+        batched transports collapse it into a single round trip.
+        """
+        if all(node_id in self._children_cache for node_id in candidates):
+            return self._children(list(candidates), stats), None
+        children_map, data, round_trips = self.server.verification_bundle(
+            list(candidates), constants_only=constants_only)
+        self._children_cache.update(children_map)
+        stats.round_trips += round_trips
+        if constants_only:
+            stats.constants_fetched += len(data)
+        else:
+            stats.polynomials_fetched += len(data)
+        return children_map, data
+
     def _verify_full(self, candidates: Sequence[int], point: int,
                      stats: QueryStats) -> Tuple[List[int], List[int]]:
         """Exact verification: recover each candidate's tag value (eq. (1)–(3))."""
@@ -406,10 +616,17 @@ class QueryEngine:
         rejected: List[int] = []
         if not candidates:
             return confirmed, rejected
-        children_map = self._children(list(candidates), stats)
+        children_map, server_shares = self._verification_children(
+            candidates, stats, constants_only=False)
         needed = sorted(set(candidates) | {
             child for node_id in candidates for child in children_map[node_id]})
-        polynomials = self._reconstruct_polynomials(needed, stats)
+        if server_shares is None:
+            polynomials = self._reconstruct_polynomials(needed, stats)
+        else:
+            polynomials = {
+                node_id: self.ring.add(self.client_shares.share_for(node_id),
+                                       server_shares[node_id])
+                for node_id in needed}
         for node_id in candidates:
             stats.candidates_verified += 1
             node_poly = polynomials[node_id]
@@ -437,12 +654,16 @@ class QueryEngine:
         inconclusive: List[int] = []
         if not candidates:
             return confirmed, inconclusive
-        children_map = self._children(list(candidates), stats)
-        needed = sorted(set(candidates) | {
-            child for node_id in candidates for child in children_map[node_id]})
-        server_constants = self.server.fetch_constants(needed)
-        stats.round_trips += 1
-        stats.constants_fetched += len(needed)
+        children_map, bundled = self._verification_children(
+            candidates, stats, constants_only=True)
+        if bundled is None:
+            needed = sorted(set(candidates) | {
+                child for node_id in candidates for child in children_map[node_id]})
+            server_constants = self.server.fetch_constants(needed)
+            stats.round_trips += 1
+            stats.constants_fetched += len(needed)
+        else:
+            server_constants = bundled
         ring = self.ring.coefficient_ring
         for node_id in candidates:
             stats.candidates_verified += 1

@@ -105,10 +105,16 @@ class ClientContext:
 
     @staticmethod
     def adapt(server: Union[ServerInterface, ServerShareTree]) -> ServerInterface:
-        """Accept either a raw share tree (wrapped in-process) or an interface."""
-        if isinstance(server, ServerShareTree):
-            return LocalServerAdapter(server)
-        return server
+        """Accept a server interface, a raw share tree, or a share store.
+
+        Anything that is not already a :class:`ServerInterface` is wrapped
+        in a :class:`LocalServerAdapter` — the adapter only needs the
+        ``ServerShareTree`` read API, which every
+        :class:`repro.net.store.ShareStore` backend also provides.
+        """
+        if isinstance(server, ServerInterface):
+            return server
+        return LocalServerAdapter(server)
 
     # -- queries ------------------------------------------------------------------
     def lookup(self, server: Union[ServerInterface, ServerShareTree],

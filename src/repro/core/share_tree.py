@@ -13,6 +13,7 @@ on demand ("only the seed has to be stored on the client").
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,9 @@ class ClientShareGenerator:
         self.prg = prg
         self.cache_size = cache_size
         self._cache: "OrderedDict[int, Polynomial]" = OrderedDict()
+        # Shares are deterministic, so concurrent sessions may safely share
+        # one generator; the lock only protects the LRU bookkeeping.
+        self._cache_lock = threading.Lock()
         # Domain-separated root stream for shares: per-node streams are
         # cheap forks of it (no per-node seed derivation or key schedule).
         self._share_root = prg.stream(_SHARE_LABEL)
@@ -50,15 +54,17 @@ class ClientShareGenerator:
     def share_for(self, node_id: int) -> Polynomial:
         """The client's share polynomial for ``node_id`` (deterministic)."""
         cache = self._cache
-        share = cache.get(node_id)
-        if share is not None:
-            cache.move_to_end(node_id)
-            return share
+        with self._cache_lock:
+            share = cache.get(node_id)
+            if share is not None:
+                cache.move_to_end(node_id)
+                return share
         share = self.ring.random_element_from_stream(self._share_root.fork(node_id))
         if self.cache_size > 0:
-            cache[node_id] = share
-            if len(cache) > self.cache_size:
-                cache.popitem(last=False)
+            with self._cache_lock:
+                cache[node_id] = share
+                if len(cache) > self.cache_size:
+                    cache.popitem(last=False)
         return share
 
     def evaluate(self, node_id: int, point: int) -> int:
@@ -109,6 +115,36 @@ class ServerShareTree:
         self.children.setdefault(node_id, [])
         if parent_id is not None:
             self.children[parent_id].append(node_id)
+
+    def replace_share(self, node_id: int, share: Polynomial) -> None:
+        """Overwrite the share of an existing node (dynamic updates)."""
+        if node_id not in self.shares:
+            raise SharingError(f"unknown node id {node_id}")
+        self.shares[node_id] = (share if self.ring.is_canonical(share)
+                                else self.ring.reduce(share))
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        """Remove ``node_id`` and every descendant; returns the removed ids.
+
+        The root cannot be removed (the tree would lose its anchor).
+        """
+        if node_id not in self.shares:
+            raise SharingError(f"unknown node id {node_id}")
+        parent_id = self.parents[node_id]
+        if parent_id is None:
+            raise SharingError("the root node cannot be removed")
+        removed: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            removed.append(current)
+            stack.extend(self.children.get(current, ()))
+        for current in removed:
+            del self.shares[current]
+            del self.parents[current]
+            self.children.pop(current, None)
+        self.children[parent_id].remove(node_id)
+        return removed
 
     # -- queries the server can answer --------------------------------------------
     def share_of(self, node_id: int) -> Polynomial:
@@ -163,6 +199,9 @@ class ServerShareTree:
 
     def __len__(self) -> int:
         return len(self.shares)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.shares
 
     def __repr__(self) -> str:
         return f"<ServerShareTree ring={self.ring.name} nodes={len(self.shares)}>"

@@ -74,6 +74,11 @@ class UpdatableTree:
     mutations would travel as explicit update messages; the cost model
     (which nodes receive new shares) is identical, and that is what the
     report captures.
+
+    All mutations go through the tree's own API (``add_node``,
+    ``replace_share``, ``remove_subtree``), so ``server_tree`` may equally
+    be any :class:`repro.net.store.ShareStore` backend — updates against a
+    durable store persist without further plumbing.
     """
 
     def __init__(self, ring: EncodingRing, mapping: TagMapping,
@@ -94,7 +99,7 @@ class UpdatableTree:
                           report: UpdateReport) -> None:
         """Store a new value for a node by rewriting its *server* share."""
         client_share = self.client_shares.share_for(node_id)
-        self.server_tree.shares[node_id] = self.ring.sub(polynomial, client_share)
+        self.server_tree.replace_share(node_id, self.ring.sub(polynomial, client_share))
         report.shares_rewritten += 1
 
     def _ancestor_path(self, node_id: int) -> List[int]:
@@ -133,7 +138,7 @@ class UpdatableTree:
     # -- public operations ------------------------------------------------------------
     def insert_subtree(self, parent_id: int, element: XmlElement) -> UpdateReport:
         """Insert a plaintext subtree as a new child of ``parent_id``."""
-        if parent_id not in self.server_tree.shares:
+        if parent_id not in self.server_tree:
             raise QueryError(f"unknown parent node {parent_id}")
         self.mapping.extend(node.tag for node in element.iter())
         report = UpdateReport("insert")
@@ -165,7 +170,7 @@ class UpdatableTree:
 
     def delete_subtree(self, node_id: int) -> UpdateReport:
         """Delete the subtree rooted at ``node_id`` (the root cannot be deleted)."""
-        if node_id not in self.server_tree.shares:
+        if node_id not in self.server_tree:
             raise QueryError(f"unknown node {node_id}")
         parent_id = self.server_tree.parent_id(node_id)
         if parent_id is None:
@@ -178,13 +183,7 @@ class UpdatableTree:
         own_values = {ancestor: self._own_tag_value(ancestor) for ancestor in ancestors}
 
         # 2. Remove the subtree nodes from the server structure.
-        removed = self._collect_subtree(node_id)
-        for node in removed:
-            del self.server_tree.shares[node]
-            del self.server_tree.parents[node]
-            self.server_tree.children.pop(node, None)
-        self.server_tree.children[parent_id].remove(node_id)
-        report.removed_node_ids = removed
+        report.removed_node_ids = self.server_tree.remove_subtree(node_id)
 
         # 3. Recompute the path bottom-up from the (already consistent) children.
         for ancestor in ancestors:
@@ -194,7 +193,7 @@ class UpdatableTree:
 
     def rename_node(self, node_id: int, new_tag: str) -> UpdateReport:
         """Change the tag of a single node (structure unchanged)."""
-        if node_id not in self.server_tree.shares:
+        if node_id not in self.server_tree:
             raise QueryError(f"unknown node {node_id}")
         self.mapping.extend([new_tag])
         report = UpdateReport("rename")
@@ -218,18 +217,8 @@ class UpdatableTree:
         report = UpdateReport("refresh")
         for node_id in self.server_tree.node_ids():
             polynomial = self._node_polynomial(node_id)
-            self.server_tree.shares[node_id] = self.ring.sub(
-                polynomial, new_generator.share_for(node_id))
+            self.server_tree.replace_share(
+                node_id, self.ring.sub(polynomial, new_generator.share_for(node_id)))
             report.shares_rewritten += 1
         self.client_shares = new_generator
         return report
-
-    # -- internals ----------------------------------------------------------------------
-    def _collect_subtree(self, node_id: int) -> List[int]:
-        result: List[int] = []
-        stack = [node_id]
-        while stack:
-            current = stack.pop()
-            result.append(current)
-            stack.extend(self.server_tree.child_ids(current))
-        return result

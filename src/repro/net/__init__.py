@@ -1,9 +1,16 @@
-"""Instrumented client/server transport: protocol messages, byte-counting
-channel, the untrusted search server and its client-side proxy."""
+"""Instrumented client/server transport: protocol messages (v1 + batched
+v2), byte-counting channel, the multi-document search server engine with
+pluggable share-store backends, and its client-side proxy."""
 
 from .channel import ChannelStats, InstrumentedChannel, LatencyModel
-from .client import RemoteServerAdapter, connect_in_process
-from .messages import Message, decode_message
+from .client import RemoteServerAdapter, connect, connect_in_process
+from .engine import DEFAULT_DOCUMENT, DocumentRegistry, HostedDocument
+from .messages import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    Message,
+    decode_message,
+)
 from .server import SearchServer, ServerObservations
 from .storage import (
     InMemoryServerStore,
@@ -14,8 +21,17 @@ from .storage import (
     share_tree_from_dict,
     share_tree_to_dict,
 )
+from .store import (
+    InMemoryShareStore,
+    ShareStore,
+    SQLiteShareStore,
+    as_share_store,
+    open_share_store,
+)
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "Message",
     "decode_message",
     "ChannelStats",
@@ -24,7 +40,16 @@ __all__ = [
     "SearchServer",
     "ServerObservations",
     "RemoteServerAdapter",
+    "connect",
     "connect_in_process",
+    "DEFAULT_DOCUMENT",
+    "DocumentRegistry",
+    "HostedDocument",
+    "ShareStore",
+    "InMemoryShareStore",
+    "SQLiteShareStore",
+    "as_share_store",
+    "open_share_store",
     "InMemoryServerStore",
     "ring_to_dict",
     "ring_from_dict",

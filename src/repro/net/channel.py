@@ -14,6 +14,7 @@ round trips and bytes into simulated wall-clock time.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
@@ -101,20 +102,26 @@ class InstrumentedChannel:
         self.latency_model = latency_model
         #: Sequence of (request_kind, response_kind) pairs (the server's view).
         self.transcript: List[Tuple[str, str]] = []
+        # Accounting is guarded so sessions may share a channel across
+        # threads; the handler itself runs outside the lock (the server
+        # engine has its own per-document locking).
+        self._stats_lock = threading.Lock()
 
     def request(self, message: Message) -> Message:
         """Send ``message`` to the server and return the decoded response."""
         encoded = message.encode()
-        self.stats.bytes_to_server += len(encoded)
-        self.stats.requests += 1
+        with self._stats_lock:
+            self.stats.bytes_to_server += len(encoded)
+            self.stats.requests += 1
         server_view = decode_message(encoded)
         response = self.handler(server_view)
         if not isinstance(response, Message):
             raise ProtocolError("the server handler must return a Message")
         encoded_response = response.encode()
-        self.stats.bytes_to_client += len(encoded_response)
-        self.stats.responses += 1
-        self.transcript.append((server_view.kind, response.kind))
+        with self._stats_lock:
+            self.stats.bytes_to_client += len(encoded_response)
+            self.stats.responses += 1
+            self.transcript.append((server_view.kind, response.kind))
         return decode_message(encoded_response)
 
     def simulated_seconds(self) -> float:

@@ -5,18 +5,28 @@ engine into protocol messages, sends them through an
 :class:`~repro.net.channel.InstrumentedChannel` and decodes the answers —
 so every query run through it yields exact byte/round-trip measurements
 (experiments E10/E13).
+
+A session opens with the hello exchange: the client states every protocol
+version it speaks, the server picks the highest common one (and throws a
+loud error when there is none).  Version-2 sessions route whole descent
+rounds through the batched :class:`~repro.net.messages.FrontierRequest`
+and piggyback prune notices on the next outgoing request; version-1
+sessions reproduce the original request-per-kind exchange byte for byte.
+Every message is stamped with the session's document id, so one server —
+and one channel — can serve many tenants.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algebra.poly import Polynomial
-from ..core.query import ServerInterface
+from ..core.query import FrontierResult, ServerInterface
 from ..core.share_tree import ServerShareTree
 from ..errors import ProtocolError
 from .channel import InstrumentedChannel, LatencyModel
 from .messages import (
+    SUPPORTED_PROTOCOL_VERSIONS,
     BlobRequest,
     BlobResponse,
     ChildrenRequest,
@@ -27,86 +37,205 @@ from .messages import (
     FetchConstantsResponse,
     FetchPolynomialsRequest,
     FetchPolynomialsResponse,
+    FrontierRequest,
+    FrontierResponse,
+    HelloRequest,
+    HelloResponse,
+    Message,
     PruneNotice,
     StructureRequest,
     StructureResponse,
 )
 from .server import SearchServer
+from .store import ShareStore
 
-__all__ = ["RemoteServerAdapter", "connect_in_process"]
+__all__ = ["RemoteServerAdapter", "connect", "connect_in_process"]
 
 
 class RemoteServerAdapter(ServerInterface):
     """A server proxy that speaks the wire protocol over a channel."""
 
-    def __init__(self, channel: InstrumentedChannel, ring) -> None:
+    def __init__(self, channel: InstrumentedChannel, ring,
+                 document_id: Optional[str] = None,
+                 protocol_version: Optional[int] = None) -> None:
         self.channel = channel
         self.ring = ring
-        self._structure: Optional[StructureResponse] = None
+        self.document_id = document_id
+        self._structure: Optional[Tuple[int, int]] = None
+        self._pending_prune: List[int] = []
+        if protocol_version is None:
+            self.protocol_version = self._negotiate(SUPPORTED_PROTOCOL_VERSIONS)
+        elif protocol_version == 1:
+            # Legacy client: no hello exchange existed in protocol v1.
+            self.protocol_version = 1
+        else:
+            self.protocol_version = self._negotiate([protocol_version])
 
-    # -- helpers -----------------------------------------------------------------
-    def _structure_summary(self) -> StructureResponse:
+    @property
+    def batched_rounds(self) -> bool:
+        """v2 sessions answer whole frontier rounds in one exchange."""
+        return self.protocol_version >= 2
+
+    # -- session management ---------------------------------------------------------
+    def _negotiate(self, versions: Sequence[int]) -> int:
+        """The hello exchange; also caches the structure summary it returns."""
+        response = self._request(HelloRequest(versions), HelloResponse)
+        if response.version not in versions:
+            raise ProtocolError(
+                f"server negotiated protocol version {response.version}, which "
+                f"this client did not offer ({list(versions)})")
+        if response.root_id is not None:
+            self._structure = (response.root_id, response.node_count)
+        return response.version
+
+    def _request(self, message: Message, expected: type) -> Message:
+        if self.document_id is not None:
+            message.for_document(self.document_id)
+        response = self.channel.request(message)
+        if not isinstance(response, expected):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response
+
+    def _structure_summary(self) -> Tuple[int, int]:
         if self._structure is None:
-            response = self.channel.request(StructureRequest())
-            if not isinstance(response, StructureResponse):
-                raise ProtocolError(f"unexpected response {response.kind!r}")
-            self._structure = response
+            response = self._request(StructureRequest(), StructureResponse)
+            self._structure = (response.root_id, response.node_count)
         return self._structure
+
+    def _take_prunes(self) -> List[int]:
+        pending, self._pending_prune = self._pending_prune, []
+        return pending
 
     # -- ServerInterface -----------------------------------------------------------
     def root_id(self) -> int:
-        return self._structure_summary().root_id
+        return self._structure_summary()[0]
 
     def node_count(self) -> int:
-        return self._structure_summary().node_count
+        return self._structure_summary()[1]
 
     def children_of(self, node_ids: Sequence[int]) -> Dict[int, List[int]]:
-        response = self.channel.request(ChildrenRequest(node_ids))
-        if not isinstance(response, ChildrenResponse):
-            raise ProtocolError(f"unexpected response {response.kind!r}")
+        response = self._request(ChildrenRequest(node_ids), ChildrenResponse)
         return response.children
 
     def evaluate(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
-        response = self.channel.request(EvaluateRequest(node_ids, point))
-        if not isinstance(response, EvaluateResponse):
-            raise ProtocolError(f"unexpected response {response.kind!r}")
+        response = self._request(EvaluateRequest(node_ids, point), EvaluateResponse)
         return response.values
 
     def fetch_polynomials(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
-        response = self.channel.request(FetchPolynomialsRequest(node_ids))
-        if not isinstance(response, FetchPolynomialsResponse):
-            raise ProtocolError(f"unexpected response {response.kind!r}")
+        if self.protocol_version >= 2:
+            response = self._frontier(fetch_polynomials=node_ids)
+            return {node_id: self.ring.from_coefficients(response.polynomials[node_id])
+                    for node_id in node_ids}
+        response = self._request(FetchPolynomialsRequest(node_ids),
+                                 FetchPolynomialsResponse)
         return {node_id: self.ring.from_coefficients(coeffs)
                 for node_id, coeffs in response.coefficients.items()}
 
     def fetch_constants(self, node_ids: Sequence[int]) -> Dict[int, int]:
-        response = self.channel.request(FetchConstantsRequest(node_ids))
-        if not isinstance(response, FetchConstantsResponse):
-            raise ProtocolError(f"unexpected response {response.kind!r}")
+        if self.protocol_version >= 2:
+            response = self._frontier(fetch_constants=node_ids)
+            return {node_id: response.constants[node_id] for node_id in node_ids}
+        response = self._request(FetchConstantsRequest(node_ids),
+                                 FetchConstantsResponse)
         return response.constants
 
     def prune(self, node_ids: Sequence[int]) -> None:
-        self.channel.request(PruneNotice(node_ids))
+        if self.protocol_version >= 2:
+            # Buffered: the ids ride along with the next v2 request.
+            self._pending_prune.extend(node_ids)
+            return
+        self._request(PruneNotice(node_ids), Message)
+
+    def flush_prunes(self) -> int:
+        if not self._pending_prune:
+            return 0
+        self._request(PruneNotice(self._take_prunes()), Message)
+        return 1
+
+    # -- batched protocol ------------------------------------------------------------
+    def _frontier(self, node_ids: Sequence[int] = (), points: Sequence[int] = (),
+                  include_children: bool = False,
+                  fetch_polynomials: Sequence[int] = (),
+                  fetch_constants: Sequence[int] = (),
+                  lookahead: int = 0) -> FrontierResponse:
+        request = FrontierRequest(node_ids, points, prune=self._take_prunes(),
+                                  include_children=include_children,
+                                  fetch_polynomials=fetch_polynomials,
+                                  fetch_constants=fetch_constants,
+                                  lookahead=lookahead)
+        return self._request(request, FrontierResponse)
+
+    def frontier_round(self, node_ids: Sequence[int], points: Sequence[int],
+                       prune: Sequence[int] = (), include_children: bool = True,
+                       lookahead: int = 0) -> FrontierResult:
+        if self.protocol_version < 2:
+            return super().frontier_round(node_ids, points, prune=prune,
+                                          include_children=include_children)
+        self._pending_prune.extend(prune)
+        response = self._frontier(node_ids, points,
+                                  include_children=include_children,
+                                  lookahead=lookahead)
+        return FrontierResult(response.evaluations, response.children,
+                              round_trips=1)
+
+    def verification_bundle(self, node_ids: Sequence[int],
+                            constants_only: bool = False
+                            ) -> Tuple[Dict[int, List[int]], Dict[int, object], int]:
+        if self.protocol_version < 2:
+            return super().verification_bundle(node_ids,
+                                               constants_only=constants_only)
+        if constants_only:
+            response = self._frontier(include_children=True,
+                                      fetch_constants=node_ids)
+            data: Dict[int, object] = dict(response.constants)
+        else:
+            response = self._frontier(include_children=True,
+                                      fetch_polynomials=node_ids)
+            data = {node_id: self.ring.from_coefficients(coeffs)
+                    for node_id, coeffs in response.polynomials.items()}
+        children = {node_id: response.children[node_id] for node_id in node_ids}
+        return children, data, 1
 
     # -- extras used by baselines -------------------------------------------------------
     def download_blob(self) -> bytes:
         """Fetch the server's whole encrypted blob (download-all baseline)."""
-        response = self.channel.request(BlobRequest())
-        if not isinstance(response, BlobResponse):
-            raise ProtocolError(f"unexpected response {response.kind!r}")
+        response = self._request(BlobRequest(), BlobResponse)
         return response.blob
 
 
-def connect_in_process(share_tree: ServerShareTree,
+def connect(server: SearchServer, document_id: Optional[str] = None,
+            latency_model: Optional[LatencyModel] = None,
+            protocol_version: Optional[int] = None
+            ) -> Tuple[RemoteServerAdapter, InstrumentedChannel]:
+    """Open a fresh instrumented session against a (multi-document) server.
+
+    Each call is one client session with its own channel, so byte and
+    round-trip totals are accounted per session — N concurrent tenants get
+    N independent :class:`~repro.net.channel.ChannelStats`.
+    """
+    channel = InstrumentedChannel(server.handle, latency_model=latency_model)
+    document = server.registry.resolve(document_id)
+    adapter = RemoteServerAdapter(channel, document.store.ring,
+                                  document_id=document_id,
+                                  protocol_version=protocol_version)
+    return adapter, channel
+
+
+def connect_in_process(share_tree: Union[ServerShareTree, ShareStore],
                        encrypted_blob: Optional[bytes] = None,
-                       latency_model: Optional[LatencyModel] = None
+                       latency_model: Optional[LatencyModel] = None,
+                       protocol_version: Optional[int] = None
                        ) -> tuple:
     """Wire a server and a remote adapter through an instrumented channel.
 
     Returns ``(adapter, server, channel)``; the adapter plugs straight into
     :class:`repro.core.query.QueryEngine` / :class:`repro.core.ClientContext`.
+    ``protocol_version`` forces a wire generation (``1`` reproduces the
+    original per-request protocol, hello-free); by default the session
+    negotiates the newest one.
     """
     server = SearchServer(share_tree, encrypted_blob=encrypted_blob)
     channel = InstrumentedChannel(server.handle, latency_model=latency_model)
-    adapter = RemoteServerAdapter(channel, share_tree.ring)
+    adapter = RemoteServerAdapter(channel, server.document().store.ring,
+                                  protocol_version=protocol_version)
     return adapter, server, channel

@@ -1,0 +1,133 @@
+"""Multi-document tenancy for the search server.
+
+A production deployment of the scheme hosts many outsourced documents for
+many tenants in one server process.  :class:`DocumentRegistry` owns that
+mapping: each :class:`HostedDocument` bundles a pluggable
+:class:`~repro.net.store.ShareStore` backend with a per-document lock (so
+concurrent sessions on *different* documents never contend, and concurrent
+sessions on the *same* document serialise store access) and its own
+:class:`~repro.net.server.ServerObservations` ledger — the
+honest-but-curious view is accounted per tenant, exactly as the leakage
+analysis of the source paper requires.
+
+The registry is the architectural seam future sharding/async PRs plug
+into: a shard is a registry subset, and a distributed deployment routes
+``document_id`` to a registry replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..errors import ProtocolError
+from .store import ShareStore, as_share_store
+
+__all__ = ["DEFAULT_DOCUMENT", "HostedDocument", "DocumentRegistry"]
+
+#: Document id used when a client does not name one (v1 compatibility).
+DEFAULT_DOCUMENT = "default"
+
+
+class HostedDocument:
+    """One outsourced document inside a server: store + lock + observations."""
+
+    __slots__ = ("document_id", "store", "lock", "observations", "encrypted_blob")
+
+    def __init__(self, document_id: str, store: ShareStore,
+                 encrypted_blob: Optional[bytes] = None) -> None:
+        from .server import ServerObservations  # circular at module load
+
+        self.document_id = document_id
+        self.store = store
+        #: Serialises store access; reentrant so a handler may sub-dispatch.
+        self.lock = threading.RLock()
+        #: What an honest-but-curious server learns about *this* tenant.
+        self.observations = ServerObservations()
+        #: Optional opaque blob served to download-everything clients.
+        self.encrypted_blob = encrypted_blob
+
+    def __repr__(self) -> str:
+        return (f"<HostedDocument {self.document_id!r} "
+                f"nodes={self.store.node_count()}>")
+
+
+class DocumentRegistry:
+    """Thread-safe name → :class:`HostedDocument` mapping."""
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, HostedDocument] = {}
+        self._lock = threading.Lock()
+
+    def add(self, document_id: str, store: Any,
+            encrypted_blob: Optional[bytes] = None) -> HostedDocument:
+        """Host a document; ``store`` may be a ShareStore or a ServerShareTree."""
+        document = HostedDocument(str(document_id), as_share_store(store),
+                                  encrypted_blob=encrypted_blob)
+        with self._lock:
+            if document.document_id in self._documents:
+                raise ProtocolError(
+                    f"document {document.document_id!r} is already hosted")
+            self._documents[document.document_id] = document
+        return document
+
+    def remove(self, document_id: str) -> HostedDocument:
+        """Stop hosting a document (its store is returned, not closed)."""
+        with self._lock:
+            try:
+                return self._documents.pop(document_id)
+            except KeyError:
+                raise ProtocolError(f"unknown document {document_id!r}") from None
+
+    def get(self, document_id: str) -> HostedDocument:
+        """Look up a hosted document; unknown ids are rejected loudly.
+
+        The error names only the requested id — enumerating the hosted
+        documents would leak other tenants' identifiers to the client.
+        """
+        with self._lock:
+            document = self._documents.get(document_id)
+        if document is None:
+            raise ProtocolError(f"unknown document {document_id!r}")
+        return document
+
+    def resolve(self, document_id: Optional[str]) -> HostedDocument:
+        """Like :meth:`get`, with v1-friendly defaulting for ``None``.
+
+        ``None`` addresses :data:`DEFAULT_DOCUMENT` when hosted, or the
+        single hosted document when there is exactly one — so a legacy
+        client keeps working against any single-tenant server.
+        """
+        if document_id is not None:
+            return self.get(document_id)
+        with self._lock:
+            if DEFAULT_DOCUMENT in self._documents:
+                return self._documents[DEFAULT_DOCUMENT]
+            if len(self._documents) == 1:
+                return next(iter(self._documents.values()))
+            hosted_count = len(self._documents)
+        raise ProtocolError(
+            "the request names no document and the server hosts "
+            f"{hosted_count} documents; address one explicitly")
+
+    def document_ids(self) -> List[str]:
+        """All hosted document ids, sorted."""
+        with self._lock:
+            return sorted(self._documents)
+
+    def total_storage_bits(self) -> int:
+        """Aggregate share storage across every hosted document (§5)."""
+        with self._lock:
+            documents = list(self._documents.values())
+        return sum(document.store.storage_bits() for document in documents)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._documents)
+
+    def __contains__(self, document_id: str) -> bool:
+        with self._lock:
+            return document_id in self._documents
+
+    def __repr__(self) -> str:
+        return f"<DocumentRegistry documents={self.document_ids()}>"

@@ -6,6 +6,22 @@ response is a small message object with a deterministic serialisation
 (:meth:`Message.encode`) whose byte length is what the instrumented
 channel (:mod:`repro.net.channel`) accounts for.
 
+Two protocol generations coexist:
+
+* **v1** — the original strictly request-per-kind messages (structure,
+  children, evaluate, fetch, prune).  Their wire encoding is unchanged, so
+  v1 clients keep working and historical bandwidth figures stay valid.
+* **v2** — adds :class:`HelloRequest`/:class:`HelloResponse` (version
+  negotiation at connect; unknown versions are rejected loudly) and the
+  batched :class:`FrontierRequest`/:class:`FrontierResponse` pair that
+  carries evaluate + children + verification fetches + prune notices for a
+  whole frontier round in one exchange — O(depth) round trips per lookup
+  instead of O(depth × request kinds).
+
+Every message additionally carries an optional ``document_id`` so one
+server can host many outsourced documents; omitting it (the v1 encoding)
+addresses the server's default document.
+
 The wire format is a compact JSON document; it is *not* meant to be an
 optimised binary protocol, only a consistent yardstick so that the
 bandwidth comparisons between modes and baselines are meaningful.
@@ -19,13 +35,19 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..errors import ProtocolError
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "Message",
+    "HelloRequest",
+    "HelloResponse",
     "StructureRequest",
     "StructureResponse",
     "ChildrenRequest",
     "ChildrenResponse",
     "EvaluateRequest",
     "EvaluateResponse",
+    "FrontierRequest",
+    "FrontierResponse",
     "FetchPolynomialsRequest",
     "FetchPolynomialsResponse",
     "FetchConstantsRequest",
@@ -37,6 +59,16 @@ __all__ = [
     "decode_message",
 ]
 
+#: Newest protocol generation this build speaks.
+PROTOCOL_VERSION = 2
+
+#: Every generation this build can serve (negotiated in the hello exchange).
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+
+
+def _int_keyed(mapping: Dict[Any, Any]) -> Dict[int, Any]:
+    return {int(k): v for k, v in mapping.items()}
+
 
 class Message:
     """Base class of all protocol messages."""
@@ -44,13 +76,24 @@ class Message:
     #: Short type tag used on the wire; subclasses override it.
     kind = "message"
 
+    #: Which hosted document the message addresses; ``None`` means the
+    #: server's default document (and keeps the v1 wire encoding intact).
+    document_id: Optional[str] = None
+
     def payload(self) -> Dict[str, Any]:
         """The JSON-serialisable body of the message."""
         return {}
 
+    def for_document(self, document_id: Optional[str]) -> "Message":
+        """Stamp the message with a document id (returns self for chaining)."""
+        self.document_id = document_id
+        return self
+
     def encode(self) -> bytes:
         """Deterministic wire encoding."""
         body = {"kind": self.kind}
+        if self.document_id is not None:
+            body["document_id"] = self.document_id
         body.update(self.payload())
         return json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
@@ -58,8 +101,59 @@ class Message:
         """Number of bytes this message occupies on the wire."""
         return len(self.encode())
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "Message":
+        """Rebuild an instance from a decoded payload (inverse of payload())."""
+        return cls()
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.payload()!r}>"
+
+
+class HelloRequest(Message):
+    """Open a session: the client states every protocol version it speaks."""
+
+    kind = "hello"
+
+    def __init__(self, versions: Sequence[int] = SUPPORTED_PROTOCOL_VERSIONS) -> None:
+        self.versions = [int(v) for v in versions]
+
+    def payload(self) -> Dict[str, Any]:
+        return {"versions": self.versions}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "HelloRequest":
+        return cls(body["versions"])
+
+
+class HelloResponse(Message):
+    """The server's pick of protocol version, plus free structure data.
+
+    ``root_id``/``node_count`` describe the addressed document when it
+    exists, saving the follow-up structure round trip of the v1 protocol.
+    """
+
+    kind = "hello-ok"
+
+    def __init__(self, version: int, documents: Sequence[str] = (),
+                 root_id: Optional[int] = None,
+                 node_count: Optional[int] = None) -> None:
+        self.version = int(version)
+        self.documents = list(documents)
+        self.root_id = root_id
+        self.node_count = node_count
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"version": self.version, "documents": self.documents}
+        if self.root_id is not None:
+            body["root_id"] = self.root_id
+            body["node_count"] = self.node_count
+        return body
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "HelloResponse":
+        return cls(body["version"], body.get("documents", ()),
+                   body.get("root_id"), body.get("node_count"))
 
 
 class StructureRequest(Message):
@@ -80,6 +174,10 @@ class StructureResponse(Message):
     def payload(self) -> Dict[str, Any]:
         return {"root_id": self.root_id, "node_count": self.node_count}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "StructureResponse":
+        return cls(body["root_id"], body["node_count"])
+
 
 class ChildrenRequest(Message):
     """Ask for the child lists of a batch of nodes (public structure)."""
@@ -92,6 +190,10 @@ class ChildrenRequest(Message):
     def payload(self) -> Dict[str, Any]:
         return {"node_ids": self.node_ids}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "ChildrenRequest":
+        return cls(body["node_ids"])
+
 
 class ChildrenResponse(Message):
     """Child lists keyed by node id."""
@@ -103,6 +205,10 @@ class ChildrenResponse(Message):
 
     def payload(self) -> Dict[str, Any]:
         return {"children": {str(k): v for k, v in self.children.items()}}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "ChildrenResponse":
+        return cls(_int_keyed(body["children"]))
 
 
 class EvaluateRequest(Message):
@@ -117,6 +223,10 @@ class EvaluateRequest(Message):
     def payload(self) -> Dict[str, Any]:
         return {"node_ids": self.node_ids, "point": self.point}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "EvaluateRequest":
+        return cls(body["node_ids"], body["point"])
+
 
 class EvaluateResponse(Message):
     """Per-node evaluation values of the server's shares."""
@@ -129,6 +239,105 @@ class EvaluateResponse(Message):
     def payload(self) -> Dict[str, Any]:
         return {"values": {str(k): v for k, v in self.values.items()}}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "EvaluateResponse":
+        return cls(_int_keyed(body["values"]))
+
+
+class FrontierRequest(Message):
+    """One whole descent round in a single exchange (protocol v2).
+
+    Carries, at once:
+
+    * ``node_ids`` × ``points`` — share evaluations for the live frontier
+      at every query point;
+    * ``include_children`` — child lists of every frontier node (the next
+      frontier is built client-side without another exchange);
+    * ``prune`` — dead branches discovered in the *previous* round
+      (piggybacked instead of a separate notice);
+    * ``lookahead`` — how many further tree levels the server evaluates
+      *speculatively* (children of the frontier, grandchildren, …) in the
+      same exchange; the client consumes the speculated levels locally, so
+      ``lookahead=1`` halves the number of descent exchanges at the price
+      of evaluating children of nodes that turn out dead;
+    * ``fetch_polynomials`` / ``fetch_constants`` — verification fetches;
+      the server answers for the listed nodes *and all their children*
+      (Theorem-1/2 reconstruction always needs the closure), so the
+      client never pays a children round trip before verifying.
+    """
+
+    kind = "frontier"
+
+    def __init__(self, node_ids: Sequence[int] = (), points: Sequence[int] = (),
+                 prune: Sequence[int] = (), include_children: bool = True,
+                 fetch_polynomials: Sequence[int] = (),
+                 fetch_constants: Sequence[int] = (),
+                 lookahead: int = 0) -> None:
+        self.node_ids = list(node_ids)
+        self.points = [int(p) for p in points]
+        self.prune = list(prune)
+        self.include_children = bool(include_children)
+        self.fetch_polynomials = list(fetch_polynomials)
+        self.fetch_constants = list(fetch_constants)
+        self.lookahead = int(lookahead)
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"node_ids": self.node_ids, "points": self.points,
+                                "children": self.include_children}
+        if self.prune:
+            body["prune"] = self.prune
+        if self.fetch_polynomials:
+            body["fetch_polynomials"] = self.fetch_polynomials
+        if self.fetch_constants:
+            body["fetch_constants"] = self.fetch_constants
+        if self.lookahead:
+            body["lookahead"] = self.lookahead
+        return body
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FrontierRequest":
+        return cls(body["node_ids"], body["points"], body.get("prune", ()),
+                   body.get("children", True), body.get("fetch_polynomials", ()),
+                   body.get("fetch_constants", ()), body.get("lookahead", 0))
+
+
+class FrontierResponse(Message):
+    """Everything a descent round needs, in one message (protocol v2)."""
+
+    kind = "frontier-ok"
+
+    def __init__(self, evaluations: Dict[int, Dict[int, int]],
+                 children: Dict[int, List[int]],
+                 polynomials: Optional[Dict[int, List[int]]] = None,
+                 constants: Optional[Dict[int, int]] = None) -> None:
+        #: ``point -> node_id -> server share evaluation``.
+        self.evaluations = {int(point): {int(k): int(v) for k, v in values.items()}
+                            for point, values in evaluations.items()}
+        self.children = {int(k): list(v) for k, v in children.items()}
+        self.polynomials = {int(k): [int(c) for c in v]
+                            for k, v in (polynomials or {}).items()}
+        self.constants = {int(k): int(v) for k, v in (constants or {}).items()}
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "evaluations": {str(point): {str(k): v for k, v in values.items()}
+                            for point, values in self.evaluations.items()},
+            "children": {str(k): v for k, v in self.children.items()},
+        }
+        if self.polynomials:
+            body["polynomials"] = {str(k): v for k, v in self.polynomials.items()}
+        if self.constants:
+            body["constants"] = {str(k): v for k, v in self.constants.items()}
+        return body
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FrontierResponse":
+        return cls({int(point): _int_keyed(values)
+                    for point, values in body["evaluations"].items()},
+                   _int_keyed(body["children"]),
+                   _int_keyed(body.get("polynomials", {})),
+                   _int_keyed(body.get("constants", {})))
+
 
 class FetchPolynomialsRequest(Message):
     """Ask for the full share polynomials of a batch of nodes (verification)."""
@@ -140,6 +349,10 @@ class FetchPolynomialsRequest(Message):
 
     def payload(self) -> Dict[str, Any]:
         return {"node_ids": self.node_ids}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FetchPolynomialsRequest":
+        return cls(body["node_ids"])
 
 
 class FetchPolynomialsResponse(Message):
@@ -154,6 +367,10 @@ class FetchPolynomialsResponse(Message):
     def payload(self) -> Dict[str, Any]:
         return {"coefficients": {str(k): v for k, v in self.coefficients.items()}}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FetchPolynomialsResponse":
+        return cls(_int_keyed(body["coefficients"]))
+
 
 class FetchConstantsRequest(Message):
     """Ask only for constant coefficients (trusted-server mode, §4.3)."""
@@ -165,6 +382,10 @@ class FetchConstantsRequest(Message):
 
     def payload(self) -> Dict[str, Any]:
         return {"node_ids": self.node_ids}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FetchConstantsRequest":
+        return cls(body["node_ids"])
 
 
 class FetchConstantsResponse(Message):
@@ -178,6 +399,10 @@ class FetchConstantsResponse(Message):
     def payload(self) -> Dict[str, Any]:
         return {"constants": {str(k): v for k, v in self.constants.items()}}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "FetchConstantsResponse":
+        return cls(_int_keyed(body["constants"]))
+
 
 class PruneNotice(Message):
     """Tell the server that these subtrees are dead branches for this query."""
@@ -189,6 +414,10 @@ class PruneNotice(Message):
 
     def payload(self) -> Dict[str, Any]:
         return {"node_ids": self.node_ids}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "PruneNotice":
+        return cls(body["node_ids"])
 
 
 class Acknowledgement(Message):
@@ -214,11 +443,16 @@ class BlobResponse(Message):
     def payload(self) -> Dict[str, Any]:
         return {"blob": self.blob.hex()}
 
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "BlobResponse":
+        return cls(bytes.fromhex(body["blob"]))
+
 
 _MESSAGE_TYPES = {
     cls.kind: cls for cls in (
-        StructureRequest, StructureResponse, ChildrenRequest, ChildrenResponse,
-        EvaluateRequest, EvaluateResponse, FetchPolynomialsRequest,
+        HelloRequest, HelloResponse, StructureRequest, StructureResponse,
+        ChildrenRequest, ChildrenResponse, EvaluateRequest, EvaluateResponse,
+        FrontierRequest, FrontierResponse, FetchPolynomialsRequest,
         FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
         PruneNotice, Acknowledgement, BlobRequest, BlobResponse,
     )
@@ -235,27 +469,11 @@ def decode_message(data: bytes) -> Message:
     cls = _MESSAGE_TYPES.get(kind)
     if cls is None:
         raise ProtocolError(f"unknown message kind {kind!r}")
-    if cls is StructureResponse:
-        return StructureResponse(body["root_id"], body["node_count"])
-    if cls is ChildrenRequest:
-        return ChildrenRequest(body["node_ids"])
-    if cls is ChildrenResponse:
-        return ChildrenResponse({int(k): v for k, v in body["children"].items()})
-    if cls is EvaluateRequest:
-        return EvaluateRequest(body["node_ids"], body["point"])
-    if cls is EvaluateResponse:
-        return EvaluateResponse({int(k): v for k, v in body["values"].items()})
-    if cls is FetchPolynomialsRequest:
-        return FetchPolynomialsRequest(body["node_ids"])
-    if cls is FetchPolynomialsResponse:
-        return FetchPolynomialsResponse(
-            {int(k): v for k, v in body["coefficients"].items()})
-    if cls is FetchConstantsRequest:
-        return FetchConstantsRequest(body["node_ids"])
-    if cls is FetchConstantsResponse:
-        return FetchConstantsResponse({int(k): v for k, v in body["constants"].items()})
-    if cls is PruneNotice:
-        return PruneNotice(body["node_ids"])
-    if cls is BlobResponse:
-        return BlobResponse(bytes.fromhex(body["blob"]))
-    return cls()
+    document_id = body.pop("document_id", None)
+    try:
+        message = cls.from_payload(body)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {kind!r} message: {exc}") from exc
+    if document_id is not None:
+        message.document_id = str(document_id)
+    return message

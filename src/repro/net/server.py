@@ -1,20 +1,27 @@
-"""The untrusted search server.
+"""The untrusted search server engine.
 
-The server stores one :class:`~repro.core.share_tree.ServerShareTree` (its
-half of the shared polynomial tree plus the public structure) and answers
-the protocol requests of :mod:`repro.net.messages`.  It never sees tag
-names, the mapping function, the client seed or full polynomials — only
-its own shares, the query points and the prune notices, which is exactly
-the view analysed by :mod:`repro.analysis.leakage`.
+The server hosts one or more outsourced documents through a
+:class:`~repro.net.engine.DocumentRegistry` (each a pluggable
+:class:`~repro.net.store.ShareStore` backend behind a per-document lock)
+and answers the protocol requests of :mod:`repro.net.messages` — both the
+original v1 per-request messages and the batched v2 frontier protocol,
+negotiated per session via the hello exchange.  It never sees tag names,
+the mapping function, the client seed or full polynomials — only its own
+shares, the query points and the prune notices, which is exactly the view
+analysed by :mod:`repro.analysis.leakage` (and accounted both globally and
+per hosted document).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+from typing import Dict, List, Optional, Union
 
 from ..core.share_tree import ServerShareTree
 from ..errors import ProtocolError
+from .engine import DEFAULT_DOCUMENT, DocumentRegistry, HostedDocument
 from .messages import (
+    SUPPORTED_PROTOCOL_VERSIONS,
     Acknowledgement,
     BlobRequest,
     BlobResponse,
@@ -26,11 +33,16 @@ from .messages import (
     FetchConstantsResponse,
     FetchPolynomialsRequest,
     FetchPolynomialsResponse,
+    FrontierRequest,
+    FrontierResponse,
+    HelloRequest,
+    HelloResponse,
     Message,
     PruneNotice,
     StructureRequest,
     StructureResponse,
 )
+from .store import InMemoryShareStore, ShareStore
 
 __all__ = ["ServerObservations", "SearchServer"]
 
@@ -62,82 +74,269 @@ class ServerObservations:
 
 
 class SearchServer:
-    """Message handler implementing the server role of the §4.3 protocol."""
+    """Message handler implementing the server role of the §4.3 protocol.
 
-    def __init__(self, share_tree: ServerShareTree,
-                 encrypted_blob: Optional[bytes] = None) -> None:
-        self.share_tree = share_tree
-        #: Optional opaque blob served to download-everything clients
-        #: (used by the baseline comparison; not part of the paper's scheme).
-        self.encrypted_blob = encrypted_blob
+    ``SearchServer(share_tree)`` keeps the historical single-document
+    construction (the tree is hosted as the default document); additional
+    documents are attached with :meth:`add_document`.  All observation
+    ledgers are double-entry: the per-document ledger feeds tenant-level
+    leakage audits, the aggregate ``observations`` the whole-server view.
+    """
+
+    def __init__(self, share_tree: Optional[Union[ServerShareTree, ShareStore]] = None,
+                 encrypted_blob: Optional[bytes] = None,
+                 registry: Optional[DocumentRegistry] = None) -> None:
+        self.registry = registry if registry is not None else DocumentRegistry()
+        #: Aggregate honest-but-curious view across every hosted document.
         self.observations = ServerObservations()
+        # The aggregate ledger is shared by every session and document;
+        # per-document ledgers are written under the same lock because a
+        # handler may update both in one go.
+        self._observations_lock = threading.Lock()
+        if share_tree is not None:
+            self.add_document(DEFAULT_DOCUMENT, share_tree,
+                              encrypted_blob=encrypted_blob)
+
+    # -- hosting ----------------------------------------------------------------------
+    def add_document(self, document_id: str,
+                     store: Union[ServerShareTree, ShareStore],
+                     encrypted_blob: Optional[bytes] = None) -> HostedDocument:
+        """Host another outsourced document under ``document_id``."""
+        return self.registry.add(document_id, store, encrypted_blob=encrypted_blob)
+
+    def remove_document(self, document_id: str) -> HostedDocument:
+        """Stop hosting a document."""
+        return self.registry.remove(document_id)
+
+    def document(self, document_id: Optional[str] = None) -> HostedDocument:
+        """A hosted document (the default one when ``document_id`` is None)."""
+        return self.registry.resolve(document_id)
+
+    @property
+    def share_tree(self) -> Union[ServerShareTree, ShareStore]:
+        """The default document's data (kept for single-document callers)."""
+        store = self.registry.resolve(None).store
+        if isinstance(store, InMemoryShareStore):
+            return store.tree
+        return store
+
+    @property
+    def encrypted_blob(self) -> Optional[bytes]:
+        """The default document's download-all blob (legacy accessor)."""
+        return self.registry.resolve(None).encrypted_blob
 
     # -- message dispatch ----------------------------------------------------------
     def handle(self, message: Message) -> Message:
         """Answer one request message."""
-        self.observations.requests_handled += 1
-        if isinstance(message, StructureRequest):
-            return self._handle_structure()
-        if isinstance(message, ChildrenRequest):
-            return self._handle_children(message)
-        if isinstance(message, EvaluateRequest):
-            return self._handle_evaluate(message)
-        if isinstance(message, FetchPolynomialsRequest):
-            return self._handle_fetch_polynomials(message)
-        if isinstance(message, FetchConstantsRequest):
-            return self._handle_fetch_constants(message)
-        if isinstance(message, PruneNotice):
-            return self._handle_prune(message)
-        if isinstance(message, BlobRequest):
-            return self._handle_blob()
+        with self._observations_lock:
+            self.observations.requests_handled += 1
+        if isinstance(message, HelloRequest):
+            return self._handle_hello(message)
+        document = self.registry.resolve(message.document_id)
+        with self._observations_lock:
+            document.observations.requests_handled += 1
+        with document.lock:
+            if isinstance(message, StructureRequest):
+                return self._handle_structure(document)
+            if isinstance(message, ChildrenRequest):
+                return self._handle_children(document, message)
+            if isinstance(message, EvaluateRequest):
+                return self._handle_evaluate(document, message)
+            if isinstance(message, FrontierRequest):
+                return self._handle_frontier(document, message)
+            if isinstance(message, FetchPolynomialsRequest):
+                return self._handle_fetch_polynomials(document, message)
+            if isinstance(message, FetchConstantsRequest):
+                return self._handle_fetch_constants(document, message)
+            if isinstance(message, PruneNotice):
+                return self._handle_prune(document, message)
+            if isinstance(message, BlobRequest):
+                return self._handle_blob(document)
         raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
 
     __call__ = handle
 
-    # -- handlers --------------------------------------------------------------------
-    def _handle_structure(self) -> StructureResponse:
-        if self.share_tree.root_id is None:
-            raise ProtocolError("the server has no stored data")
-        return StructureResponse(self.share_tree.root_id, self.share_tree.node_count())
+    # -- observation plumbing ---------------------------------------------------------
+    def _observe_points(self, document: HostedDocument, point: int,
+                        node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                ledger.points_seen.append(point)
+                ledger.evaluated_nodes.extend(node_ids)
 
-    def _handle_children(self, message: ChildrenRequest) -> ChildrenResponse:
-        return ChildrenResponse({node_id: self.share_tree.child_ids(node_id)
+    def _observe_prune(self, document: HostedDocument, node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                ledger.pruned_nodes.extend(node_ids)
+
+    def _observe_served(self, document: HostedDocument, attribute: str,
+                        node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                getattr(ledger, attribute).extend(node_ids)
+
+    # -- handlers --------------------------------------------------------------------
+    def _handle_hello(self, message: HelloRequest) -> HelloResponse:
+        """Version negotiation: highest common generation, or a loud error.
+
+        The response describes only the document the session addressed —
+        tenants must not learn which other documents the server hosts.
+        """
+        common = set(message.versions) & set(SUPPORTED_PROTOCOL_VERSIONS)
+        if not common:
+            raise ProtocolError(
+                f"client speaks protocol versions {sorted(message.versions)} but "
+                f"this server supports {list(SUPPORTED_PROTOCOL_VERSIONS)}; "
+                "no common version — upgrade one side")
+        version = max(common)
+        documents: List[str] = []
+        root_id = node_count = None
+        if len(self.registry) > 0:
+            try:
+                document = self.registry.resolve(message.document_id)
+            except ProtocolError:
+                if message.document_id is not None:
+                    raise        # an explicitly named unknown document is an error
+            else:
+                documents = [document.document_id]
+                root_id = document.store.root_id
+                node_count = document.store.node_count()
+        return HelloResponse(version, documents=documents,
+                             root_id=root_id, node_count=node_count)
+
+    def _handle_structure(self, document: HostedDocument) -> StructureResponse:
+        root_id = document.store.root_id
+        if root_id is None:
+            raise ProtocolError("the server has no stored data")
+        return StructureResponse(root_id, document.store.node_count())
+
+    def _handle_children(self, document: HostedDocument,
+                         message: ChildrenRequest) -> ChildrenResponse:
+        store = document.store
+        return ChildrenResponse({node_id: store.child_ids(node_id)
                                  for node_id in message.node_ids})
 
-    def _handle_evaluate(self, message: EvaluateRequest) -> EvaluateResponse:
-        self.observations.points_seen.append(message.point)
-        self.observations.evaluated_nodes.extend(message.node_ids)
-        return EvaluateResponse({
-            node_id: self.share_tree.evaluate(node_id, message.point)
-            for node_id in message.node_ids})
+    def _handle_evaluate(self, document: HostedDocument,
+                         message: EvaluateRequest) -> EvaluateResponse:
+        self._observe_points(document, message.point, message.node_ids)
+        return EvaluateResponse(
+            document.store.evaluate_many(message.node_ids, message.point))
 
-    def _handle_fetch_polynomials(self, message: FetchPolynomialsRequest
+    #: Hard ceiling on speculative evaluation depth per exchange.
+    MAX_LOOKAHEAD = 4
+
+    def _handle_frontier(self, document: HostedDocument,
+                         message: FrontierRequest) -> FrontierResponse:
+        store = document.store
+        if message.prune:
+            self._observe_prune(document, message.prune)
+        # Speculative expansion: evaluate the requested frontier plus up to
+        # ``lookahead`` further levels of the induced subtree, so the client
+        # can consume several descent levels from one exchange.
+        child_lists: Dict[int, List[int]] = {}
+        frontier_nodes = list(message.node_ids)
+        level = frontier_nodes
+        for _ in range(min(max(message.lookahead, 0), self.MAX_LOOKAHEAD)):
+            next_level: List[int] = []
+            for node_id in level:
+                child_lists[node_id] = store.child_ids(node_id)
+                next_level.extend(child_lists[node_id])
+            if not next_level:
+                break
+            frontier_nodes.extend(next_level)
+            level = next_level
+        evaluations: Dict[int, Dict[int, int]] = {}
+        for point in message.points:
+            self._observe_points(document, point, frontier_nodes)
+            evaluations[point] = store.evaluate_many(frontier_nodes, point)
+        children: Dict[int, List[int]] = {}
+        if message.include_children:
+            for node_id in frontier_nodes:
+                if node_id not in child_lists:
+                    child_lists[node_id] = store.child_ids(node_id)
+                children[node_id] = child_lists[node_id]
+        # With ``include_children`` a fetch answers for the listed nodes plus
+        # all their children (the Theorem-1/2 closure); without it the fetch
+        # is exact, matching the v1 fetch semantics.
+        polynomials: Dict[int, List[int]] = {}
+        if message.fetch_polynomials:
+            if message.include_children:
+                fetched = self._verification_closure(
+                    store, message.fetch_polynomials, children)
+            else:
+                fetched = sorted(set(message.fetch_polynomials))
+            self._observe_served(document, "polynomials_served", fetched)
+            degree_bound = store.ring.degree_bound
+            for node_id in fetched:
+                share = store.share_of(node_id)
+                polynomials[node_id] = [int(share.coefficient(i))
+                                        for i in range(degree_bound)]
+        constants: Dict[int, int] = {}
+        if message.fetch_constants:
+            if message.include_children:
+                fetched = self._verification_closure(
+                    store, message.fetch_constants, children)
+            else:
+                fetched = sorted(set(message.fetch_constants))
+            self._observe_served(document, "constants_served", fetched)
+            for node_id in fetched:
+                constants[node_id] = int(store.share_of(node_id).constant_term)
+        return FrontierResponse(evaluations, children, polynomials, constants)
+
+    @staticmethod
+    def _verification_closure(store: ShareStore, node_ids: List[int],
+                              children: Dict[int, List[int]]) -> List[int]:
+        """The requested nodes plus all their children (Theorem-1/2 inputs).
+
+        Child lists discovered here are folded into the response's
+        ``children`` map so the client learns the structure in the same
+        exchange.
+        """
+        closure = []
+        seen = set()
+        for node_id in node_ids:
+            child_ids = children.get(node_id)
+            if child_ids is None:
+                child_ids = store.child_ids(node_id)
+                children[node_id] = child_ids
+            for member in [node_id] + child_ids:
+                if member not in seen:
+                    seen.add(member)
+                    closure.append(member)
+        return sorted(closure)
+
+    def _handle_fetch_polynomials(self, document: HostedDocument,
+                                  message: FetchPolynomialsRequest
                                   ) -> FetchPolynomialsResponse:
-        self.observations.polynomials_served.extend(message.node_ids)
+        self._observe_served(document, "polynomials_served", message.node_ids)
+        store = document.store
         coefficients = {}
         for node_id in message.node_ids:
-            share = self.share_tree.share_of(node_id)
+            share = store.share_of(node_id)
             coefficients[node_id] = [int(share.coefficient(i))
-                                     for i in range(self.share_tree.ring.degree_bound)]
+                                     for i in range(store.ring.degree_bound)]
         return FetchPolynomialsResponse(coefficients)
 
-    def _handle_fetch_constants(self, message: FetchConstantsRequest
+    def _handle_fetch_constants(self, document: HostedDocument,
+                                message: FetchConstantsRequest
                                 ) -> FetchConstantsResponse:
-        self.observations.constants_served.extend(message.node_ids)
+        self._observe_served(document, "constants_served", message.node_ids)
+        store = document.store
         return FetchConstantsResponse({
-            node_id: int(self.share_tree.share_of(node_id).constant_term)
+            node_id: int(store.share_of(node_id).constant_term)
             for node_id in message.node_ids})
 
-    def _handle_prune(self, message: PruneNotice) -> Acknowledgement:
-        self.observations.pruned_nodes.extend(message.node_ids)
+    def _handle_prune(self, document: HostedDocument,
+                      message: PruneNotice) -> Acknowledgement:
+        self._observe_prune(document, message.node_ids)
         return Acknowledgement()
 
-    def _handle_blob(self) -> BlobResponse:
-        if self.encrypted_blob is None:
+    def _handle_blob(self, document: HostedDocument) -> BlobResponse:
+        if document.encrypted_blob is None:
             raise ProtocolError("this server has no download-all blob configured")
-        return BlobResponse(self.encrypted_blob)
+        return BlobResponse(document.encrypted_blob)
 
     # -- reporting -----------------------------------------------------------------------
     def storage_bits(self) -> int:
-        """Measured storage of the server's share tree (§5)."""
-        return self.share_tree.storage_bits()
+        """Measured storage across every hosted document (§5)."""
+        return self.registry.total_storage_bits()

@@ -87,10 +87,29 @@ def share_tree_from_dict(data: Dict[str, Any]) -> ServerShareTree:
 
 
 def save_share_tree(tree: ServerShareTree, path: str) -> int:
-    """Write the share tree as JSON; returns the file size in bytes."""
+    """Write the share tree as JSON; returns the file size in bytes.
+
+    The write is atomic: the payload goes to a temporary file in the same
+    directory which is fsynced and then :func:`os.replace`-d over ``path``,
+    so a server crash mid-save can never leave a truncated store behind —
+    readers see either the old complete file or the new complete file.
+    """
     payload = json.dumps(share_tree_to_dict(tree), separators=(",", ":"))
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(payload)
+    directory = os.path.dirname(os.path.abspath(path))
+    temp_path = os.path.join(directory,
+                             f".{os.path.basename(path)}.tmp-{os.getpid()}")
+    try:
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise
     return os.path.getsize(path)
 
 

@@ -1,0 +1,462 @@
+"""Pluggable server-side share-store backends.
+
+The server engine does not care *where* its half of the shared polynomial
+tree lives; it talks to a :class:`ShareStore`.  Two backends ship with the
+reproduction:
+
+* :class:`InMemoryShareStore` — wraps a
+  :class:`~repro.core.share_tree.ServerShareTree`; everything lives in
+  process memory (the PR-1 behaviour, and still the fastest option);
+* :class:`SQLiteShareStore` — a durable single-file backend that keeps the
+  node table on disk and loads share polynomials *lazily* through an LRU
+  cache, so a server can host documents far larger than its memory and
+  restart without a separate load step.
+
+Both expose the same read/write surface as ``ServerShareTree`` (the store
+API is a strict superset of what :class:`~repro.net.server.SearchServer`
+and :class:`~repro.core.updates.UpdatableTree` need), so every code path —
+queries, verification, dynamic updates — works identically against either
+backend.  Tests assert bit-identical query results across backends.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..algebra.poly import Polynomial
+from ..algebra.quotient import EncodingRing
+from ..core.share_tree import ServerShareTree
+from ..errors import ProtocolError, SharingError
+
+__all__ = [
+    "ShareStore",
+    "InMemoryShareStore",
+    "SQLiteShareStore",
+    "as_share_store",
+    "open_share_store",
+]
+
+#: Format marker written into every SQLite store; unknown formats are
+#: rejected loudly (same spirit as the client's ``share_derivation`` marker).
+SQLITE_STORE_FORMAT = "share-store-sqlite-v1"
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+class ShareStore(abc.ABC):
+    """Storage backend for one document's server share tree."""
+
+    #: The encoding ring of the stored polynomials.
+    ring: EncodingRing
+
+    # -- read side (what the query protocol needs) ---------------------------------
+    @property
+    @abc.abstractmethod
+    def root_id(self) -> Optional[int]:
+        """Identifier of the root node (``None`` for an empty store)."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of nodes stored."""
+
+    @abc.abstractmethod
+    def node_ids(self) -> List[int]:
+        """All node identifiers, sorted."""
+
+    @abc.abstractmethod
+    def child_ids(self, node_id: int) -> List[int]:
+        """Public child list of a node (document order)."""
+
+    @abc.abstractmethod
+    def parent_id(self, node_id: int) -> Optional[int]:
+        """Public parent of a node."""
+
+    @abc.abstractmethod
+    def share_of(self, node_id: int) -> Polynomial:
+        """The stored share polynomial of a node."""
+
+    @abc.abstractmethod
+    def __contains__(self, node_id: int) -> bool:
+        """Whether the store holds a node with this id."""
+
+    # -- write side (outsourcing and dynamic updates) ------------------------------
+    @abc.abstractmethod
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        """Insert one node's share; parents must precede children."""
+
+    @abc.abstractmethod
+    def replace_share(self, node_id: int, share: Polynomial) -> None:
+        """Overwrite the share of an existing node (dynamic updates)."""
+
+    @abc.abstractmethod
+    def remove_subtree(self, node_id: int) -> List[int]:
+        """Remove a node and every descendant; returns the removed ids."""
+
+    # -- generic helpers (shared by every backend) ----------------------------------
+    def evaluate(self, node_id: int, point: int) -> int:
+        """Evaluate the stored share of a node at a query point."""
+        return self.ring.evaluate(self.share_of(node_id), point)
+
+    def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Evaluate many node shares at one point (one batched pass)."""
+        shares = [self.share_of(node_id) for node_id in node_ids]
+        return dict(zip(node_ids, self.ring.evaluate_many(shares, point)))
+
+    def depth_of(self, node_id: int) -> int:
+        """Depth of a node computed from the public structure."""
+        depth = 0
+        current = self.parent_id(node_id)
+        while current is not None:
+            depth += 1
+            current = self.parent_id(current)
+        return depth
+
+    def storage_bits(self) -> int:
+        """Measured storage of all share polynomials (the §5 server cost)."""
+        return sum(self.ring.element_storage_bits(self.share_of(node_id))
+                   for node_id in self.node_ids())
+
+    def close(self) -> None:
+        """Release backend resources (no-op for memory-backed stores)."""
+
+    def __len__(self) -> int:
+        return len(self.node_ids())
+
+    def __enter__(self) -> "ShareStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class InMemoryShareStore(ShareStore):
+    """A :class:`ShareStore` view over an in-memory ``ServerShareTree``."""
+
+    def __init__(self, tree: ServerShareTree) -> None:
+        #: The wrapped tree (shared, not copied).
+        self.tree = tree
+        self.ring = tree.ring
+
+    @property
+    def root_id(self) -> Optional[int]:
+        return self.tree.root_id
+
+    def node_count(self) -> int:
+        return self.tree.node_count()
+
+    def node_ids(self) -> List[int]:
+        return self.tree.node_ids()
+
+    def child_ids(self, node_id: int) -> List[int]:
+        return self.tree.child_ids(node_id)
+
+    def parent_id(self, node_id: int) -> Optional[int]:
+        return self.tree.parent_id(node_id)
+
+    def share_of(self, node_id: int) -> Polynomial:
+        return self.tree.share_of(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.tree
+
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        self.tree.add_node(node_id, parent_id, share)
+
+    def replace_share(self, node_id: int, share: Polynomial) -> None:
+        self.tree.replace_share(node_id, share)
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        return self.tree.remove_subtree(node_id)
+
+    def evaluate(self, node_id: int, point: int) -> int:
+        return self.tree.evaluate(node_id, point)
+
+    def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        return self.tree.evaluate_many(node_ids, point)
+
+    def storage_bits(self) -> int:
+        return self.tree.storage_bits()
+
+    def __repr__(self) -> str:
+        return f"<InMemoryShareStore nodes={self.tree.node_count()}>"
+
+
+class SQLiteShareStore(ShareStore):
+    """Durable single-file backend with lazy share loading.
+
+    The node table (``node_id``, ``parent``, JSON coefficient vector) lives
+    in SQLite; child order is insertion order (``rowid``), matching the
+    append semantics of the in-memory tree.  Share polynomials are decoded
+    on demand and kept in a bounded LRU cache — opening a store does *not*
+    materialise the tree, so startup cost and resident memory stay flat in
+    the document size.  All access is serialised by an internal lock; the
+    connection is shared across threads.
+    """
+
+    def __init__(self, path: str, ring: Optional[EncodingRing] = None,
+                 cache_size: int = 4096) -> None:
+        # Imported here: storage.py imports this module at load time.
+        from .storage import ring_from_dict, ring_to_dict
+
+        self.path = path
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[int, Polynomial]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=TRUNCATE")
+        existing = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if existing:
+            stored_format = self._meta("format")
+            if stored_format != SQLITE_STORE_FORMAT:
+                raise ProtocolError(
+                    f"share store {path!r} uses format {stored_format!r} but this "
+                    f"version reads {SQLITE_STORE_FORMAT!r}; refusing to guess")
+            self.ring = ring_from_dict(json.loads(self._meta("ring")))
+            if ring is not None and ring_to_dict(ring) != ring_to_dict(self.ring):
+                raise ProtocolError(
+                    f"share store {path!r} was written for ring {self.ring.name} "
+                    f"but ring {ring.name} was requested")
+        else:
+            if ring is None:
+                raise ProtocolError(
+                    f"{path!r} is not an existing share store; creating one "
+                    "requires an encoding ring")
+            self.ring = ring
+            with self._conn:
+                self._conn.execute(
+                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+                self._conn.execute(
+                    "CREATE TABLE nodes (node_id INTEGER PRIMARY KEY, "
+                    "parent INTEGER, coefficients TEXT NOT NULL)")
+                self._conn.execute("CREATE INDEX nodes_parent ON nodes (parent)")
+                self._set_meta("format", SQLITE_STORE_FORMAT)
+                self._set_meta("ring", json.dumps(ring_to_dict(ring),
+                                                  separators=(",", ":")))
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, path: str, tree: ServerShareTree,
+                  cache_size: int = 4096) -> "SQLiteShareStore":
+        """Create (or overwrite) a store file from an in-memory share tree."""
+        if os.path.exists(path):
+            os.remove(path)
+        store = cls(path, ring=tree.ring, cache_size=cache_size)
+        with store._lock, store._conn:
+            for node_id in store._preorder(tree):
+                store._conn.execute(
+                    "INSERT INTO nodes (node_id, parent, coefficients) "
+                    "VALUES (?, ?, ?)",
+                    (node_id, tree.parent_id(node_id),
+                     cls._encode_share(tree.share_of(node_id))))
+        return store
+
+    @staticmethod
+    def _preorder(tree: ServerShareTree) -> Iterator[int]:
+        if tree.root_id is None:
+            return
+        stack = [tree.root_id]
+        while stack:
+            node_id = stack.pop()
+            yield node_id
+            stack.extend(reversed(tree.child_ids(node_id)))
+
+    @staticmethod
+    def _encode_share(share: Polynomial) -> str:
+        return json.dumps([int(c) for c in share.coeffs], separators=(",", ":"))
+
+    def _decode_share(self, text: str) -> Polynomial:
+        return self.ring.from_coefficients(json.loads(text))
+
+    # -- meta table -----------------------------------------------------------------
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value", (key, value))
+
+    # -- read side -------------------------------------------------------------------
+    @property
+    def root_id(self) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT node_id FROM nodes WHERE parent IS NULL").fetchone()
+        return None if row is None else int(row[0])
+
+    def node_count(self) -> int:
+        with self._lock:
+            return int(self._conn.execute("SELECT COUNT(*) FROM nodes").fetchone()[0])
+
+    def node_ids(self) -> List[int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT node_id FROM nodes ORDER BY node_id").fetchall()
+        return [int(row[0]) for row in rows]
+
+    def child_ids(self, node_id: int) -> List[int]:
+        with self._lock:
+            self._require(node_id)
+            rows = self._conn.execute(
+                "SELECT node_id FROM nodes WHERE parent = ? ORDER BY rowid",
+                (node_id,)).fetchall()
+        return [int(row[0]) for row in rows]
+
+    def parent_id(self, node_id: int) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT parent FROM nodes WHERE node_id = ?", (node_id,)).fetchone()
+        if row is None:
+            raise SharingError(f"unknown node id {node_id}")
+        return None if row[0] is None else int(row[0])
+
+    def share_of(self, node_id: int) -> Polynomial:
+        with self._lock:
+            share = self._cache.get(node_id)
+            if share is not None:
+                self._cache.move_to_end(node_id)
+                return share
+            row = self._conn.execute(
+                "SELECT coefficients FROM nodes WHERE node_id = ?",
+                (node_id,)).fetchone()
+            if row is None:
+                raise SharingError(f"unknown node id {node_id}")
+            share = self._decode_share(row[0])
+            if self.cache_size > 0:
+                self._cache[node_id] = share
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            return share
+
+    def __contains__(self, node_id: int) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM nodes WHERE node_id = ?", (node_id,)).fetchone()
+        return row is not None
+
+    def cached_share_count(self) -> int:
+        """How many share polynomials are currently resident (lazy-load probe)."""
+        with self._lock:
+            return len(self._cache)
+
+    def storage_bits(self) -> int:
+        # Stream over the table instead of share_of() so a full scan does not
+        # evict the query working set from the LRU cache.
+        with self._lock:
+            rows = self._conn.execute("SELECT coefficients FROM nodes").fetchall()
+        return sum(self.ring.element_storage_bits(self._decode_share(row[0]))
+                   for row in rows)
+
+    def file_bytes(self) -> int:
+        """Current on-disk size of the store file."""
+        with self._lock:
+            self._conn.commit()
+        return os.path.getsize(self.path)
+
+    def _require(self, node_id: int) -> None:
+        row = self._conn.execute(
+            "SELECT 1 FROM nodes WHERE node_id = ?", (node_id,)).fetchone()
+        if row is None:
+            raise SharingError(f"unknown node id {node_id}")
+
+    # -- write side ------------------------------------------------------------------
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        share = share if self.ring.is_canonical(share) else self.ring.reduce(share)
+        with self._lock:
+            if node_id in self:
+                raise SharingError(f"duplicate node id {node_id}")
+            if parent_id is None:
+                if self.root_id is not None:
+                    raise SharingError("the share tree already has a root")
+            elif parent_id not in self:
+                raise SharingError(f"parent {parent_id} of node {node_id} is unknown")
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO nodes (node_id, parent, coefficients) "
+                    "VALUES (?, ?, ?)",
+                    (node_id, parent_id, self._encode_share(share)))
+            if self.cache_size > 0:
+                self._cache[node_id] = share
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+
+    def replace_share(self, node_id: int, share: Polynomial) -> None:
+        share = share if self.ring.is_canonical(share) else self.ring.reduce(share)
+        with self._lock:
+            with self._conn:
+                updated = self._conn.execute(
+                    "UPDATE nodes SET coefficients = ? WHERE node_id = ?",
+                    (self._encode_share(share), node_id)).rowcount
+            if not updated:
+                raise SharingError(f"unknown node id {node_id}")
+            if node_id in self._cache:
+                self._cache[node_id] = share
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        with self._lock:
+            self._require(node_id)
+            if self.parent_id(node_id) is None:
+                raise SharingError("the root node cannot be removed")
+            removed: List[int] = []
+            stack = [node_id]
+            while stack:
+                current = stack.pop()
+                removed.append(current)
+                rows = self._conn.execute(
+                    "SELECT node_id FROM nodes WHERE parent = ? ORDER BY rowid",
+                    (current,)).fetchall()
+                stack.extend(int(row[0]) for row in rows)
+            with self._conn:
+                self._conn.executemany(
+                    "DELETE FROM nodes WHERE node_id = ?",
+                    [(current,) for current in removed])
+            for current in removed:
+                self._cache.pop(current, None)
+            return removed
+
+    # -- lifecycle -------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"<SQLiteShareStore path={self.path!r}>"
+
+
+def as_share_store(source: Any) -> ShareStore:
+    """Coerce a tree or store into a :class:`ShareStore` (stores pass through)."""
+    if isinstance(source, ShareStore):
+        return source
+    if isinstance(source, ServerShareTree):
+        return InMemoryShareStore(source)
+    raise ProtocolError(f"cannot build a share store from {type(source).__name__}")
+
+
+def open_share_store(path: str) -> ShareStore:
+    """Open a server file written by either backend, sniffing the format.
+
+    SQLite files are recognised by their magic header and opened lazily;
+    anything else is treated as the JSON format of
+    :func:`repro.net.storage.load_share_tree` (fully materialised).
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_SQLITE_MAGIC))
+    if magic == _SQLITE_MAGIC:
+        return SQLiteShareStore(path)
+    from .storage import load_share_tree
+
+    return InMemoryShareStore(load_share_tree(path))

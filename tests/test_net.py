@@ -173,8 +173,19 @@ class TestRemoteAdapter:
         adapter, _, channel = connect_in_process(server_tree)
         adapter.root_id()
         adapter.node_count()
-        # Only one structure request crossed the channel.
+        # The v2 hello already carried the structure summary: no structure
+        # request ever crosses the channel.
+        assert channel.transcript.count(("structure", "structure-ok")) == 0
+        assert channel.transcript.count(("hello", "hello-ok")) == 1
+
+    def test_structure_summary_cached_v1(self, outsourced_catalog):
+        _, server_tree, _ = outsourced_catalog
+        adapter, _, channel = connect_in_process(server_tree, protocol_version=1)
+        adapter.root_id()
+        adapter.node_count()
+        # Legacy sessions fetch the structure exactly once (and never hello).
         assert channel.transcript.count(("structure", "structure-ok")) == 1
+        assert channel.transcript.count(("hello", "hello-ok")) == 0
 
     def test_download_blob(self, outsourced_catalog):
         _, server_tree, _ = outsourced_catalog

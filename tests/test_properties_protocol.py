@@ -4,7 +4,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.algebra import FpQuotientRing, IntQuotientRing, default_int_modulus
-from repro.net import decode_message, ring_from_dict, ring_to_dict
+from repro.core import ServerShareTree
+from repro.net import (
+    decode_message,
+    ring_from_dict,
+    ring_to_dict,
+    share_tree_from_dict,
+    share_tree_to_dict,
+)
 from repro.net.messages import (
     ChildrenRequest,
     ChildrenResponse,
@@ -12,6 +19,9 @@ from repro.net.messages import (
     EvaluateResponse,
     FetchConstantsResponse,
     FetchPolynomialsResponse,
+    FrontierRequest,
+    FrontierResponse,
+    HelloRequest,
     PruneNotice,
     StructureResponse,
 )
@@ -80,3 +90,116 @@ class TestRingSerialisation:
     def test_int_rings_roundtrip(self, degree):
         ring = IntQuotientRing(default_int_modulus(degree))
         assert ring_from_dict(ring_to_dict(ring)) == ring
+
+
+class TestVersion2Messages:
+    @given(node_id_lists, st.lists(st.integers(min_value=1, max_value=100),
+                                   max_size=4),
+           node_id_lists, st.booleans(),
+           st.integers(min_value=0, max_value=4),
+           st.one_of(st.none(), st.text(min_size=1, max_size=12)))
+    def test_frontier_request(self, node_ids, points, prune, children,
+                              lookahead, document_id):
+        message = FrontierRequest(node_ids, points, prune=prune,
+                                  include_children=children,
+                                  lookahead=lookahead)
+        message.for_document(document_id)
+        decoded = decode_message(message.encode())
+        assert decoded.node_ids == list(node_ids)
+        assert decoded.points == list(points)
+        assert decoded.prune == list(prune)
+        assert decoded.include_children == children
+        assert decoded.lookahead == lookahead
+        assert decoded.document_id == document_id
+
+    @given(st.dictionaries(st.integers(min_value=1, max_value=50),
+                           st.dictionaries(st.integers(min_value=0, max_value=99),
+                                           values, max_size=6),
+                           max_size=4),
+           st.dictionaries(st.integers(min_value=0, max_value=99),
+                           st.lists(st.integers(min_value=0, max_value=99),
+                                    max_size=4),
+                           max_size=6))
+    def test_frontier_response(self, evaluations, children):
+        decoded = decode_message(FrontierResponse(evaluations, children).encode())
+        assert decoded.evaluations == {
+            int(point): {int(k): int(v) for k, v in vals.items()}
+            for point, vals in evaluations.items()}
+        assert decoded.children == {int(k): list(v) for k, v in children.items()}
+
+    @given(st.lists(st.integers(min_value=1, max_value=99), min_size=1,
+                    max_size=4, unique=True))
+    def test_hello_roundtrip(self, versions):
+        decoded = decode_message(HelloRequest(versions).encode())
+        assert decoded.versions == list(versions)
+
+    @given(node_id_lists)
+    def test_document_stamp_preserved_on_v1_messages(self, node_ids):
+        message = EvaluateRequest(node_ids, 3).for_document("tenant-7")
+        decoded = decode_message(message.encode())
+        assert decoded.document_id == "tenant-7"
+        # Unstamped messages keep the exact v1 wire encoding.
+        assert b"document_id" not in EvaluateRequest(node_ids, 3).encode()
+
+
+def _tree_strategy(ring):
+    """Random share trees: random shapes, shares including the constant and
+    zero polynomials, leaves with empty child lists."""
+    if isinstance(ring, FpQuotientRing):
+        coefficient = st.integers(min_value=0, max_value=ring.p - 1)
+        max_len = ring.p - 1
+    else:
+        coefficient = st.integers(min_value=-(2 ** 40), max_value=2 ** 40)
+        max_len = ring.modulus.degree
+    coefficients = st.lists(coefficient, min_size=0, max_size=max_len)
+    return st.lists(coefficients, min_size=1, max_size=12).flatmap(
+        lambda shares: st.tuples(
+            st.just(shares),
+            st.tuples(*[st.integers(min_value=0, max_value=max(index - 1, 0))
+                        for index in range(len(shares))])))
+
+
+def _build_tree(ring, shares, parents):
+    tree = ServerShareTree(ring)
+    for index, coefficients in enumerate(shares):
+        parent = None if index == 0 else parents[index]
+        tree.add_node(index, parent, ring.from_coefficients(coefficients))
+    return tree
+
+
+class TestShareTreePersistenceProperties:
+    """Satellite: `share_tree_to_dict`/`from_dict` round-trips exactly, for
+    both encoding rings, including empty-children and constant-share nodes."""
+
+    @given(_tree_strategy(FpQuotientRing(7)))
+    def test_fp_share_tree_roundtrip(self, shape):
+        self._assert_roundtrip(FpQuotientRing(7), *shape)
+
+    @given(_tree_strategy(IntQuotientRing(default_int_modulus(2))))
+    def test_int_share_tree_roundtrip(self, shape):
+        self._assert_roundtrip(IntQuotientRing(default_int_modulus(2)), *shape)
+
+    @staticmethod
+    def _assert_roundtrip(ring, shares, parents):
+        tree = _build_tree(ring, shares, parents)
+        restored = share_tree_from_dict(share_tree_to_dict(tree))
+        assert restored.ring == tree.ring
+        assert restored.root_id == tree.root_id
+        assert restored.node_ids() == tree.node_ids()
+        for node_id in tree.node_ids():
+            assert restored.share_of(node_id) == tree.share_of(node_id)
+            assert restored.parent_id(node_id) == tree.parent_id(node_id)
+            # Child *order* is part of the structure and must survive.
+            assert restored.child_ids(node_id) == tree.child_ids(node_id)
+
+    def test_edge_nodes_explicitly(self):
+        ring = FpQuotientRing(5)
+        tree = ServerShareTree(ring)
+        tree.add_node(0, None, ring.from_coefficients([3]))      # constant share
+        tree.add_node(1, 0, ring.from_coefficients([]))          # zero share
+        tree.add_node(2, 0, ring.from_coefficients([0, 1]))      # x
+        restored = share_tree_from_dict(share_tree_to_dict(tree))
+        assert restored.child_ids(0) == [1, 2]
+        assert restored.child_ids(1) == []                       # empty children
+        for node_id in (0, 1, 2):
+            assert restored.share_of(node_id) == tree.share_of(node_id)
