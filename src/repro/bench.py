@@ -39,14 +39,18 @@ from .workloads import RandomXmlConfig, generate_random_document
 __all__ = [
     "run_benchmarks",
     "run_serving_benchmarks",
+    "run_concurrency_benchmarks",
     "write_snapshot",
     "SNAPSHOT_NAME",
     "SERVING_SNAPSHOT_NAME",
+    "CONCURRENCY_SNAPSHOT_NAME",
 ]
 
 SNAPSHOT_NAME = "BENCH_1"
 
 SERVING_SNAPSHOT_NAME = "BENCH_2"
+
+CONCURRENCY_SNAPSHOT_NAME = "BENCH_3"
 
 #: Prime used for the raw F_p multiplication benchmark (large enough that
 #: coefficients are realistic residues, small enough to stay hardware-native).
@@ -375,6 +379,208 @@ def run_serving_benchmarks(quick: bool = False) -> Dict[str, Any]:
         "concurrency": bench_serving_concurrency(
             clients, threads=4 if quick else 8, rounds=2 if quick else 3),
     }
+
+
+# ---------------------------------------------------------------------------
+# Concurrent-throughput benchmark (BENCH_3): sync threaded vs async coalesced
+# ---------------------------------------------------------------------------
+
+def _concurrency_document(element_count: int, seed: int = 7):
+    """The BENCH_3 workload document: large, skewed, selective tags exist."""
+    return generate_random_document(RandomXmlConfig(
+        element_count=element_count, tag_vocabulary_size=48, tag_skew=1.6,
+        max_depth=14, seed=seed))
+
+
+def _selective_tags(document, count: int) -> List[str]:
+    """The ``count`` least frequent tags, rarest first (deterministic)."""
+    from collections import Counter
+
+    frequencies: Counter = Counter()
+    stack = [document.root]
+    while stack:
+        element = stack.pop()
+        frequencies[element.tag] += 1
+        stack.extend(element.children)
+    ranked = sorted(frequencies, key=lambda tag: (frequencies[tag], tag))
+    return ranked[:count]
+
+
+def _concurrent_lookups(client, ring, port: int, sessions: int,
+                        tags: List[str], reference: Dict[str, tuple]
+                        ) -> Dict[str, Any]:
+    """Run ``sessions`` threads of lookups against a socket server at ``port``.
+
+    Each session opens one framed TCP connection, runs every tag lookup
+    (rotated by session index so sessions are not artificially in
+    lock-step) and asserts its matches against ``reference``.  Returns the
+    wall-clock throughput over all sessions.
+    """
+    from .core import VerificationMode
+    from .net import connect_socket
+
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(sessions + 1)
+
+    def run_session(index: int) -> None:
+        try:
+            adapter, channel = connect_socket("127.0.0.1", port, ring,
+                                              timeout_s=600.0)
+            try:
+                rotated = tags[index % len(tags):] + tags[:index % len(tags)]
+                barrier.wait()
+                for tag in rotated:
+                    outcome = client.lookup(adapter, tag,
+                                            verification=VerificationMode.NONE)
+                    if tuple(outcome.matches) != reference[tag]:
+                        raise AssertionError(
+                            f"session {index} answered {tag!r} differently")
+            finally:
+                channel.close()
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            errors.append(exc)
+            barrier.abort()
+
+    workers = [threading.Thread(target=run_session, args=(index,))
+               for index in range(sessions)]
+    for worker in workers:
+        worker.start()
+    try:
+        barrier.wait()                  # line every session up, then time
+    except threading.BrokenBarrierError:
+        pass                            # a session failed; its error is kept
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        # Surface the root cause, not a secondary BrokenBarrierError a
+        # sibling session saw because the first failure aborted the barrier.
+        primary = [error for error in errors
+                   if not isinstance(error, threading.BrokenBarrierError)]
+        raise (primary or errors)[0]
+    lookups = sessions * len(tags)
+    return {
+        "sessions": sessions,
+        "lookups": lookups,
+        "elapsed_s": round(elapsed, 4),
+        "lookups_per_s": round(lookups / elapsed, 3),
+    }
+
+
+def run_concurrency_benchmarks(quick: bool = False,
+                               session_counts: Optional[List[int]] = None,
+                               element_count: Optional[int] = None,
+                               lookups_per_session: int = 4) -> Dict[str, Any]:
+    """BENCH_3: concurrent lookup throughput, sync threaded vs async coalesced.
+
+    One large document (>10^5 nodes in the full run, so the SQLite
+    backend's lazy share loading actually matters) is served over real TCP
+    by both socket transports; N sessions each run the same selective-tag
+    lookups.  The async server answers bit-identically (asserted here per
+    lookup against the in-memory reference) but coalesces concurrent
+    frontier rounds into single store passes, which is where its
+    throughput advantage comes from.
+    """
+    from .core import VerificationMode, outsource_document
+    from .net import (
+        SearchServer,
+        SQLiteShareStore,
+        ThreadedSearchServer,
+        start_async_server,
+    )
+
+    if session_counts is None:
+        session_counts = [1, 4] if quick else [1, 4, 16, 64]
+    if element_count is None:
+        element_count = 4000 if quick else 120_000
+    document = _concurrency_document(element_count)
+    client, server_tree, _ = outsource_document(document, seed=b"bench-3")
+    tags = _selective_tags(document, lookups_per_session)
+    reference = {
+        tag: tuple(client.lookup(server_tree, tag,
+                                 verification=VerificationMode.NONE).matches)
+        for tag in tags}
+
+    results: Dict[str, Any] = {
+        "document_elements": document.size(),
+        "store_backend": "sqlite",
+        "tags": tags,
+        "lookups_per_session": len(tags),
+        "identical_to_reference": True,   # every session asserts per lookup
+        "session_counts": list(session_counts),
+        "modes": {},
+    }
+    def threaded_transport(store):
+        server = ThreadedSearchServer(SearchServer(store)).start()
+        return server.address[1], server.stop, None
+
+    def async_transport(store):
+        handle = start_async_server(SearchServer(store))
+        return handle.port, handle.stop, handle.server
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench3.db")
+        SQLiteShareStore.from_tree(path, server_tree).close()
+        for mode, transport in (("sync_threaded", threaded_transport),
+                                ("async_coalesced", async_transport)):
+            rows: Dict[str, Any] = {}
+            for sessions in session_counts:
+                # Fresh store connection per configuration so every run
+                # starts from the same cold share cache, plus one
+                # single-session warm-up pass before timing.
+                store = SQLiteShareStore(path)
+                port, stop, async_server = transport(store)
+                try:
+                    _concurrent_lookups(client, store.ring, port, 1, tags,
+                                        reference)
+                    row = _concurrent_lookups(client, store.ring, port,
+                                              sessions, tags, reference)
+                    if async_server is not None:
+                        row["coalesced_batches"] = \
+                            async_server.coalesced_batches
+                        row["coalesced_requests"] = \
+                            async_server.coalesced_requests
+                        row["largest_batch"] = async_server.largest_batch
+                    rows[str(sessions)] = row
+                finally:
+                    stop()
+                    store.close()
+            results["modes"][mode] = rows
+
+    results["speedup_by_sessions"] = {
+        key: round(results["modes"]["async_coalesced"][key]["lookups_per_s"]
+                   / results["modes"]["sync_threaded"][key]["lookups_per_s"], 2)
+        for key in results["modes"]["sync_threaded"]}
+    return {
+        "snapshot": CONCURRENCY_SNAPSHOT_NAME,
+        "description": "concurrent serving throughput: asyncio transport with "
+                       "coalesced frontier rounds vs threaded sync transport, "
+                       "SQLite backend, real TCP sessions",
+        "config": {"quick": quick, "element_count": element_count,
+                   "session_counts": list(session_counts),
+                   "lookups_per_session": lookups_per_session},
+        "concurrency": results,
+    }
+
+
+def format_concurrency_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_3 snapshot."""
+    concurrency = results["concurrency"]
+    lines = [f"snapshot {results['snapshot']} "
+             f"({concurrency['document_elements']} elements, "
+             f"{concurrency['store_backend']} backend)"]
+    sync_rows = concurrency["modes"]["sync_threaded"]
+    async_rows = concurrency["modes"]["async_coalesced"]
+    for key in sync_rows:
+        async_row = async_rows[key]
+        lines.append(
+            f"  {key:>3} sessions: sync "
+            f"{sync_rows[key]['lookups_per_s']:8.2f} lookups/s   async "
+            f"{async_row['lookups_per_s']:8.2f} lookups/s   "
+            f"x{concurrency['speedup_by_sessions'][key]} "
+            f"(largest batch {async_row['largest_batch']})")
+    return "\n".join(lines)
 
 
 def format_serving_summary(results: Dict[str, Any]) -> str:

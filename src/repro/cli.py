@@ -16,6 +16,8 @@ Usage::
     python -m repro.cli inspect server.json
     python -m repro.cli decode server.json client.json 3
     python -m repro.cli bench --quick --out BENCH_1.json
+    python -m repro.cli bench --concurrency 16 --out BENCH_3.json
+    python -m repro.cli serve server.json --port 9653 --async
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import List, Optional, Sequence
 
 from . import __version__
@@ -98,6 +101,21 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument("client_file")
     decode.add_argument("node_id", type=int)
 
+    serve = commands.add_parser(
+        "serve", help="host a stored server file over TCP (framed wire "
+                      "protocol; see docs/protocol.md)")
+    serve.add_argument("server_file")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9653,
+                       help="TCP port; 0 picks a free one (default: 9653)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="use the asyncio transport with coalesced "
+                            "frontier rounds instead of a thread per session")
+    serve.add_argument("--document-id", default=None,
+                       help="host the document under this id "
+                            "(default: the v1-compatible default document)")
+
     bench = commands.add_parser(
         "bench", help="run the quick kernel benchmark suite and write a "
                       "JSON perf snapshot")
@@ -112,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the serving-engine benchmark (multi-document, "
                             "concurrency, batched vs v1 protocol) instead of "
                             "the kernel suite")
+    bench.add_argument("--concurrency", type=int, default=None, metavar="N",
+                       help="run the BENCH_3 concurrent-throughput benchmark "
+                            "(sync threaded vs async coalesced serving) with "
+                            "up to N sessions instead of the kernel suite")
     return parser
 
 
@@ -209,16 +231,70 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .net import SearchServer, ThreadedSearchServer, start_async_server
+
+    store = open_share_store(args.server_file)
+    if args.document_id is None:
+        server = SearchServer(store)
+    else:
+        server = SearchServer()
+        server.add_document(args.document_id, store)
+    transport = "async (coalesced)" if args.use_async else "threaded"
+    try:
+        if args.use_async:
+            handle = start_async_server(server, host=args.host, port=args.port)
+            host, port = args.host, handle.port
+        else:
+            threaded = ThreadedSearchServer(server, host=args.host,
+                                            port=args.port).start()
+            host, port = threaded.address
+        print(f"serving {args.server_file} on {host}:{port} "
+              f"[{transport} transport, {store.node_count()} nodes]")
+        print("press Ctrl-C to stop")
+        try:
+            while True:
+                threading.Event().wait(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if args.use_async:
+                handle.stop()
+            else:
+                threaded.stop()
+    finally:
+        store.close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        format_concurrency_summary,
         format_serving_summary,
         format_summary,
         run_benchmarks,
+        run_concurrency_benchmarks,
         run_serving_benchmarks,
         write_snapshot,
     )
 
-    if args.serving:
+    if args.serving and args.concurrency is not None:
+        print("error: --serving and --concurrency select different "
+              "benchmark suites; pass one of them", file=sys.stderr)
+        return 2
+    if args.concurrency is not None:
+        if args.concurrency < 1:
+            print("error: --concurrency needs at least one session",
+                  file=sys.stderr)
+            return 2
+        session_counts = [n for n in (1, 4, 16, 64) if n < args.concurrency]
+        session_counts.append(args.concurrency)
+        results = run_concurrency_benchmarks(quick=args.quick,
+                                             session_counts=session_counts)
+        out = args.out or "BENCH_3.json"
+        write_snapshot(results, out)
+        print(format_concurrency_summary(results))
+    elif args.serving:
         results = run_serving_benchmarks(quick=args.quick)
         out = args.out or "BENCH_2.json"
         write_snapshot(results, out)
@@ -238,6 +314,7 @@ _HANDLERS = {
     "query": _cmd_query,
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

@@ -1,17 +1,37 @@
 """Instrumented client/server transport: protocol messages (v1 + batched
-v2), byte-counting channel, the multi-document search server engine with
-pluggable share-store backends, and its client-side proxy."""
+v2), byte-counting channels (in-process and real sockets), length-prefixed
+framing, the transport-agnostic serving core with multi-document tenancy
+and pluggable share-store backends, the sync/threaded and asyncio socket
+servers, and the client-side proxies."""
 
-from .channel import ChannelStats, InstrumentedChannel, LatencyModel
-from .client import RemoteServerAdapter, connect, connect_in_process
-from .engine import DEFAULT_DOCUMENT, DocumentRegistry, HostedDocument
+from .aio import (
+    AsyncSearchServer,
+    AsyncServerHandle,
+    AsyncServerInterface,
+    start_async_server,
+)
+from .channel import ChannelStats, InstrumentedChannel, LatencyModel, SocketChannel
+from .client import RemoteServerAdapter, connect, connect_in_process, connect_socket
+from .engine import (
+    DEFAULT_DOCUMENT,
+    DocumentRegistry,
+    HostedDocument,
+    ServingCore,
+)
+from .framing import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    decode_frame_length,
+    encode_frame,
+)
 from .messages import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
     Message,
     decode_message,
 )
-from .server import SearchServer, ServerObservations
+from .server import SearchServer, ServerObservations, ThreadedSearchServer
 from .storage import (
     InMemoryServerStore,
     load_share_tree,
@@ -37,14 +57,27 @@ __all__ = [
     "ChannelStats",
     "LatencyModel",
     "InstrumentedChannel",
+    "SocketChannel",
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "FrameAssembler",
+    "encode_frame",
+    "decode_frame_length",
     "SearchServer",
     "ServerObservations",
+    "ThreadedSearchServer",
+    "AsyncSearchServer",
+    "AsyncServerInterface",
+    "AsyncServerHandle",
+    "start_async_server",
     "RemoteServerAdapter",
     "connect",
     "connect_in_process",
+    "connect_socket",
     "DEFAULT_DOCUMENT",
     "DocumentRegistry",
     "HostedDocument",
+    "ServingCore",
     "ShareStore",
     "InMemoryShareStore",
     "SQLiteShareStore",

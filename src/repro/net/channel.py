@@ -1,26 +1,45 @@
-"""An instrumented request/response channel between client and server.
+"""Instrumented request/response channels between client and server.
 
 The paper's protocol is strictly synchronous (the client sends a request,
-the server answers), so the channel models exactly that and records:
+the server answers), so every channel models exactly that and records:
 
 * bytes sent client→server and server→client,
 * number of request/response exchanges (round trips),
 * a full transcript of message kinds (for the leakage audit).
 
-The "network" is in-process — what matters for the reproduction are the
-counted costs, not sockets.  A latency model can be attached to translate
-round trips and bytes into simulated wall-clock time.
+Two transports share the accounting:
+
+* :class:`InstrumentedChannel` — the in-process "network" used by the
+  bandwidth experiments; what matters there are the counted costs, not
+  sockets.
+* :class:`SocketChannel` — one real TCP session against a socket server
+  (:class:`~repro.net.server.ThreadedSearchServer` or
+  :class:`~repro.net.aio.AsyncSearchServer`), speaking the same message
+  encodings inside length-prefixed frames.  Each session owns its own
+  :class:`ChannelStats`, so byte and round-trip totals stay per-tenant
+  even when many sessions hit one server.
+
+A latency model can be attached to translate round trips and bytes into
+simulated wall-clock time.
 """
 
 from __future__ import annotations
 
+import socket
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
-from .messages import Message, decode_message
+from .framing import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    decode_frame_length,
+    encode_frame,
+)
+from .messages import ErrorResponse, Message, decode_message
 
-__all__ = ["ChannelStats", "LatencyModel", "InstrumentedChannel"]
+__all__ = ["ChannelStats", "LatencyModel", "InstrumentedChannel",
+           "SocketChannel"]
 
 
 class ChannelStats:
@@ -134,3 +153,83 @@ class InstrumentedChannel:
         """Clear counters and transcript (e.g. between benchmark iterations)."""
         self.stats.reset()
         self.transcript.clear()
+
+
+class SocketChannel:
+    """One client session over a real TCP socket, with per-session stats.
+
+    Speaks the framed wire protocol of :mod:`repro.net.framing`: each
+    request is one frame carrying an unchanged v1/v2 message encoding, and
+    each response one frame back.  The channel is strictly synchronous
+    from the caller's view (send, then wait), which is exactly what
+    :class:`~repro.net.client.RemoteServerAdapter` needs — the adapter
+    works over this channel and the in-process one interchangeably.
+
+    Server-side failures arrive as
+    :class:`~repro.net.messages.ErrorResponse` frames and are re-raised
+    here as :class:`~repro.errors.ProtocolError`, mirroring the exception
+    the in-process channel would have propagated.
+    """
+
+    def __init__(self, host: str, port: int,
+                 latency_model: Optional[LatencyModel] = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 timeout_s: Optional[float] = 30.0) -> None:
+        self.stats = ChannelStats()
+        self.latency_model = latency_model
+        self.max_frame_bytes = max_frame_bytes
+        #: Sequence of (request_kind, response_kind) pairs (this session's view).
+        self.transcript: List[Tuple[str, str]] = []
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError(
+                    "the server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, message: Message) -> Message:
+        """Send one framed request and return the decoded framed response."""
+        encoded = message.encode()
+        frame = encode_frame(encoded, self.max_frame_bytes)
+        with self._lock:
+            self._sock.sendall(frame)
+            self.stats.bytes_to_server += len(encoded)
+            self.stats.requests += 1
+            header = self._recv_exactly(FRAME_HEADER_BYTES)
+            length = decode_frame_length(header, self.max_frame_bytes)
+            payload = self._recv_exactly(length)
+            self.stats.bytes_to_client += len(payload)
+            self.stats.responses += 1
+            response = decode_message(payload)
+            self.transcript.append((message.kind, response.kind))
+        if isinstance(response, ErrorResponse):
+            raise ProtocolError(response.error)
+        return response
+
+    def simulated_seconds(self) -> float:
+        """Simulated time of the recorded traffic (0.0 without a latency model)."""
+        if self.latency_model is None:
+            return 0.0
+        return self.latency_model.simulated_seconds(self.stats)
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketChannel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -24,7 +24,7 @@ from ..algebra.poly import Polynomial
 from ..core.query import FrontierResult, ServerInterface
 from ..core.share_tree import ServerShareTree
 from ..errors import ProtocolError
-from .channel import InstrumentedChannel, LatencyModel
+from .channel import InstrumentedChannel, LatencyModel, SocketChannel
 from .messages import (
     SUPPORTED_PROTOCOL_VERSIONS,
     BlobRequest,
@@ -49,7 +49,8 @@ from .messages import (
 from .server import SearchServer
 from .store import ShareStore
 
-__all__ = ["RemoteServerAdapter", "connect", "connect_in_process"]
+__all__ = ["RemoteServerAdapter", "connect", "connect_in_process",
+           "connect_socket"]
 
 
 class RemoteServerAdapter(ServerInterface):
@@ -217,6 +218,30 @@ def connect(server: SearchServer, document_id: Optional[str] = None,
     document = server.registry.resolve(document_id)
     adapter = RemoteServerAdapter(channel, document.store.ring,
                                   document_id=document_id,
+                                  protocol_version=protocol_version)
+    return adapter, channel
+
+
+def connect_socket(host: str, port: int, ring,
+                   document_id: Optional[str] = None,
+                   latency_model: Optional[LatencyModel] = None,
+                   protocol_version: Optional[int] = None,
+                   timeout_s: Optional[float] = 30.0
+                   ) -> Tuple[RemoteServerAdapter, SocketChannel]:
+    """Open a synchronous session against a *socket* server.
+
+    This is the sync adapter for the socket transports: the returned
+    :class:`RemoteServerAdapter` is the same object in-process callers
+    use, so any existing :class:`~repro.core.query.QueryEngine` /
+    :class:`~repro.core.ClientContext` code runs over a real TCP
+    connection unchanged — against either the threaded
+    :class:`~repro.net.server.ThreadedSearchServer` or the asyncio
+    :class:`~repro.net.aio.AsyncSearchServer` (both speak the same
+    frames).  Callers should ``channel.close()`` when done.
+    """
+    channel = SocketChannel(host, port, latency_model=latency_model,
+                            timeout_s=timeout_s)
+    adapter = RemoteServerAdapter(channel, ring, document_id=document_id,
                                   protocol_version=protocol_version)
     return adapter, channel
 

@@ -1,4 +1,4 @@
-"""Multi-document tenancy for the search server.
+"""The transport-agnostic serving engine and multi-document tenancy.
 
 A production deployment of the scheme hosts many outsourced documents for
 many tenants in one server process.  :class:`DocumentRegistry` owns that
@@ -6,27 +6,95 @@ mapping: each :class:`HostedDocument` bundles a pluggable
 :class:`~repro.net.store.ShareStore` backend with a per-document lock (so
 concurrent sessions on *different* documents never contend, and concurrent
 sessions on the *same* document serialise store access) and its own
-:class:`~repro.net.server.ServerObservations` ledger — the
-honest-but-curious view is accounted per tenant, exactly as the leakage
-analysis of the source paper requires.
+:class:`ServerObservations` ledger — the honest-but-curious view is
+accounted per tenant, exactly as the leakage analysis of the source paper
+requires.
 
-The registry is the architectural seam future sharding/async PRs plug
-into: a shard is a registry subset, and a distributed deployment routes
+:class:`ServingCore` is the engine itself: it answers every protocol
+message of :mod:`repro.net.messages` against the registry and knows
+nothing about transports.  Three transports share it unchanged:
+
+* the in-process :class:`~repro.net.server.SearchServer` (a thin facade
+  kept for the historical API),
+* the blocking socket server :class:`~repro.net.server.ThreadedSearchServer`
+  (thread per session),
+* the asyncio transport :class:`~repro.net.aio.AsyncSearchServer`, which
+  additionally funnels concurrent frontier requests into
+  :meth:`ServingCore.frontier_batch` — one lock acquisition and one
+  batched store pass per tick instead of one per session.
+
+The registry is the architectural seam future sharding PRs plug into: a
+shard is a registry subset, and a distributed deployment routes
 ``document_id`` to a registry replica.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, ReproError
+from .messages import (
+    SUPPORTED_PROTOCOL_VERSIONS,
+    Acknowledgement,
+    BlobRequest,
+    BlobResponse,
+    ChildrenRequest,
+    ChildrenResponse,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    FetchConstantsRequest,
+    FetchConstantsResponse,
+    FetchPolynomialsRequest,
+    FetchPolynomialsResponse,
+    FrontierRequest,
+    FrontierResponse,
+    HelloRequest,
+    HelloResponse,
+    Message,
+    PruneNotice,
+    StructureRequest,
+    StructureResponse,
+)
 from .store import ShareStore, as_share_store
 
-__all__ = ["DEFAULT_DOCUMENT", "HostedDocument", "DocumentRegistry"]
+__all__ = [
+    "DEFAULT_DOCUMENT",
+    "ServerObservations",
+    "HostedDocument",
+    "DocumentRegistry",
+    "ServingCore",
+]
 
 #: Document id used when a client does not name one (v1 compatibility).
 DEFAULT_DOCUMENT = "default"
+
+
+class ServerObservations:
+    """Everything an honest-but-curious server learns while answering queries."""
+
+    __slots__ = ("points_seen", "pruned_nodes", "evaluated_nodes",
+                 "polynomials_served", "constants_served", "requests_handled")
+
+    def __init__(self) -> None:
+        self.points_seen: List[int] = []
+        self.pruned_nodes: List[int] = []
+        self.evaluated_nodes: List[int] = []
+        self.polynomials_served: List[int] = []
+        self.constants_served: List[int] = []
+        self.requests_handled = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counted summary for reports."""
+        return {
+            "distinct_points_seen": len(set(self.points_seen)),
+            "evaluation_requests": len(self.evaluated_nodes),
+            "pruned_nodes": len(self.pruned_nodes),
+            "polynomials_served": len(self.polynomials_served),
+            "constants_served": len(self.constants_served),
+            "requests_handled": self.requests_handled,
+        }
 
 
 class HostedDocument:
@@ -36,8 +104,6 @@ class HostedDocument:
 
     def __init__(self, document_id: str, store: ShareStore,
                  encrypted_blob: Optional[bytes] = None) -> None:
-        from .server import ServerObservations  # circular at module load
-
         self.document_id = document_id
         self.store = store
         #: Serialises store access; reentrant so a handler may sub-dispatch.
@@ -131,3 +197,342 @@ class DocumentRegistry:
 
     def __repr__(self) -> str:
         return f"<DocumentRegistry documents={self.document_ids()}>"
+
+
+class ServingCore:
+    """Message handlers of the §4.3 server role, shared by every transport.
+
+    The core owns the :class:`DocumentRegistry` and the aggregate
+    observation ledger.  All ledgers are double-entry: the per-document
+    ledger feeds tenant-level leakage audits, the aggregate
+    ``observations`` the whole-server view.
+
+    Transports call :meth:`handle` for one request at a time (the sync
+    paths), or :meth:`frontier_batch` with every
+    :class:`~repro.net.messages.FrontierRequest` that arrived in the same
+    scheduling tick — the batch is answered with **one** lock acquisition
+    and **one** batched ``evaluate_many`` pass per distinct query point
+    for the whole batch, while staying bit-identical to handling each
+    request alone (evaluations are per-share deterministic, so slicing a
+    union pass equals a per-request pass).
+    """
+
+    def __init__(self, registry: Optional[DocumentRegistry] = None) -> None:
+        self.registry = registry if registry is not None else DocumentRegistry()
+        #: Aggregate honest-but-curious view across every hosted document.
+        self.observations = ServerObservations()
+        # The aggregate ledger is shared by every session and document;
+        # per-document ledgers are written under the same lock because a
+        # handler may update both in one go.
+        self._observations_lock = threading.Lock()
+
+    # -- message dispatch ----------------------------------------------------------
+    def handle(self, message: Message) -> Message:
+        """Answer one request message."""
+        with self._observations_lock:
+            self.observations.requests_handled += 1
+        if isinstance(message, HelloRequest):
+            return self._handle_hello(message)
+        document = self.registry.resolve(message.document_id)
+        with self._observations_lock:
+            document.observations.requests_handled += 1
+        with document.lock:
+            if isinstance(message, StructureRequest):
+                return self._handle_structure(document)
+            if isinstance(message, ChildrenRequest):
+                return self._handle_children(document, message)
+            if isinstance(message, EvaluateRequest):
+                return self._handle_evaluate(document, message)
+            if isinstance(message, FrontierRequest):
+                return self._frontier_batch_locked(document, [message])[0]
+            if isinstance(message, FetchPolynomialsRequest):
+                return self._handle_fetch_polynomials(document, message)
+            if isinstance(message, FetchConstantsRequest):
+                return self._handle_fetch_constants(document, message)
+            if isinstance(message, PruneNotice):
+                return self._handle_prune(document, message)
+            if isinstance(message, BlobRequest):
+                return self._handle_blob(document)
+        raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
+
+    __call__ = handle
+
+    def frontier_batch(self, messages: Sequence[FrontierRequest]
+                       ) -> List[Message]:
+        """Answer many concurrent frontier requests in coalesced passes.
+
+        Requests are grouped by addressed document; each group is served
+        under a single acquisition of that document's lock, with the share
+        evaluations of every request in the group folded into one
+        ``evaluate_many`` call per distinct query point.  Responses come
+        back in request order and are bit-identical to what
+        :meth:`handle` would have returned for each request alone.
+
+        Failures are isolated per request: a message naming an unknown
+        document, or one whose coalesced group fails (unknown node id,
+        backend error), is answered with an in-band
+        :class:`~repro.net.messages.ErrorResponse` while every other
+        request is served normally.  A failed group is retried request by
+        request, so only the actual offenders error (requests already
+        counted stay counted once; the retried group's point/prune
+        observations may be recorded again, mirroring the partial
+        observations a failing sequential handler leaves behind).
+        """
+        groups: Dict[str, Tuple[HostedDocument, List[int]]] = {}
+        responses: List[Optional[Message]] = [None] * len(messages)
+        for index, message in enumerate(messages):
+            if not isinstance(message, FrontierRequest):
+                raise ProtocolError(
+                    f"frontier_batch cannot handle {message.kind!r} requests")
+            with self._observations_lock:
+                self.observations.requests_handled += 1
+            try:
+                document = self.registry.resolve(message.document_id)
+            except ReproError as exc:
+                responses[index] = ErrorResponse(str(exc))
+                continue
+            with self._observations_lock:
+                document.observations.requests_handled += 1
+            groups.setdefault(document.document_id, (document, []))[1].append(index)
+        for document, indices in groups.values():
+            group = [messages[index] for index in indices]
+            try:
+                with document.lock:
+                    answered: List[Message] = list(
+                        self._frontier_batch_locked(document, group))
+            except ReproError:
+                answered = []
+                for message in group:
+                    try:
+                        with document.lock:
+                            answered.append(
+                                self._frontier_batch_locked(document,
+                                                            [message])[0])
+                    except ReproError as exc:
+                        answered.append(ErrorResponse(str(exc)))
+            for index, response in zip(indices, answered):
+                responses[index] = response
+        return responses  # type: ignore[return-value]
+
+    # -- observation plumbing ---------------------------------------------------------
+    def _observe_points(self, document: HostedDocument, point: int,
+                        node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                ledger.points_seen.append(point)
+                ledger.evaluated_nodes.extend(node_ids)
+
+    def _observe_prune(self, document: HostedDocument, node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                ledger.pruned_nodes.extend(node_ids)
+
+    def _observe_served(self, document: HostedDocument, attribute: str,
+                        node_ids: List[int]) -> None:
+        with self._observations_lock:
+            for ledger in (self.observations, document.observations):
+                getattr(ledger, attribute).extend(node_ids)
+
+    # -- handlers --------------------------------------------------------------------
+    def _handle_hello(self, message: HelloRequest) -> HelloResponse:
+        """Version negotiation: highest common generation, or a loud error.
+
+        The response describes only the document the session addressed —
+        tenants must not learn which other documents the server hosts.
+        """
+        common = set(message.versions) & set(SUPPORTED_PROTOCOL_VERSIONS)
+        if not common:
+            raise ProtocolError(
+                f"client speaks protocol versions {sorted(message.versions)} but "
+                f"this server supports {list(SUPPORTED_PROTOCOL_VERSIONS)}; "
+                "no common version — upgrade one side")
+        version = max(common)
+        documents: List[str] = []
+        root_id = node_count = None
+        if len(self.registry) > 0:
+            try:
+                document = self.registry.resolve(message.document_id)
+            except ProtocolError:
+                if message.document_id is not None:
+                    raise        # an explicitly named unknown document is an error
+            else:
+                documents = [document.document_id]
+                root_id = document.store.root_id
+                node_count = document.store.node_count()
+        return HelloResponse(version, documents=documents,
+                             root_id=root_id, node_count=node_count)
+
+    def _handle_structure(self, document: HostedDocument) -> StructureResponse:
+        root_id = document.store.root_id
+        if root_id is None:
+            raise ProtocolError("the server has no stored data")
+        return StructureResponse(root_id, document.store.node_count())
+
+    def _handle_children(self, document: HostedDocument,
+                         message: ChildrenRequest) -> ChildrenResponse:
+        store = document.store
+        return ChildrenResponse({node_id: store.child_ids(node_id)
+                                 for node_id in message.node_ids})
+
+    def _handle_evaluate(self, document: HostedDocument,
+                         message: EvaluateRequest) -> EvaluateResponse:
+        self._observe_points(document, message.point, message.node_ids)
+        return EvaluateResponse(
+            document.store.evaluate_many(message.node_ids, message.point))
+
+    #: Hard ceiling on speculative evaluation depth per exchange.
+    MAX_LOOKAHEAD = 4
+
+    def _frontier_batch_locked(self, document: HostedDocument,
+                               messages: Sequence[FrontierRequest]
+                               ) -> List[FrontierResponse]:
+        """Serve one document's frontier requests under its (held) lock.
+
+        Child lists are resolved once per node per batch and share
+        evaluations once per (node, point) per batch; each request's
+        response is then sliced out of the union passes.
+        """
+        store = document.store
+        child_cache: Dict[int, List[int]] = {}
+
+        def children_of(node_id: int) -> List[int]:
+            cached = child_cache.get(node_id)
+            if cached is None:
+                cached = child_cache[node_id] = store.child_ids(node_id)
+            return cached
+
+        # Pass 1: prune notices, then the speculative expansion of every
+        # request's frontier (the requested nodes plus up to ``lookahead``
+        # further levels of the induced subtree).
+        expanded: List[Tuple[List[int], Dict[int, List[int]]]] = []
+        for message in messages:
+            if message.prune:
+                self._observe_prune(document, message.prune)
+            child_lists: Dict[int, List[int]] = {}
+            frontier_nodes = list(message.node_ids)
+            level = frontier_nodes
+            for _ in range(min(max(message.lookahead, 0), self.MAX_LOOKAHEAD)):
+                next_level: List[int] = []
+                for node_id in level:
+                    child_lists[node_id] = children_of(node_id)
+                    next_level.extend(child_lists[node_id])
+                if not next_level:
+                    break
+                frontier_nodes = frontier_nodes + next_level
+                level = next_level
+            expanded.append((frontier_nodes, child_lists))
+
+        # Pass 2: the coalesced evaluation — one batched store pass per
+        # distinct query point over the union of every request's frontier.
+        point_nodes: Dict[int, set] = {}
+        for message, (frontier_nodes, _) in zip(messages, expanded):
+            for point in message.points:
+                point_nodes.setdefault(point, set()).update(frontier_nodes)
+        point_values: Dict[int, Dict[int, int]] = {}
+        for point in sorted(point_nodes):
+            point_values[point] = store.evaluate_many(
+                sorted(point_nodes[point]), point)
+
+        # Pass 3: slice each request's response out of the union passes.
+        responses: List[FrontierResponse] = []
+        for message, (frontier_nodes, child_lists) in zip(messages, expanded):
+            evaluations: Dict[int, Dict[int, int]] = {}
+            for point in message.points:
+                self._observe_points(document, point, frontier_nodes)
+                values = point_values[point]
+                evaluations[point] = {node_id: values[node_id]
+                                      for node_id in frontier_nodes}
+            children: Dict[int, List[int]] = {}
+            if message.include_children:
+                for node_id in frontier_nodes:
+                    if node_id not in child_lists:
+                        child_lists[node_id] = children_of(node_id)
+                    children[node_id] = child_lists[node_id]
+            # With ``include_children`` a fetch answers for the listed
+            # nodes plus all their children (the Theorem-1/2 closure);
+            # without it the fetch is exact, matching the v1 semantics.
+            polynomials: Dict[int, List[int]] = {}
+            if message.fetch_polynomials:
+                if message.include_children:
+                    fetched = self._verification_closure(
+                        children_of, message.fetch_polynomials, children)
+                else:
+                    fetched = sorted(set(message.fetch_polynomials))
+                self._observe_served(document, "polynomials_served", fetched)
+                degree_bound = store.ring.degree_bound
+                for node_id in fetched:
+                    share = store.share_of(node_id)
+                    polynomials[node_id] = [int(share.coefficient(i))
+                                            for i in range(degree_bound)]
+            constants: Dict[int, int] = {}
+            if message.fetch_constants:
+                if message.include_children:
+                    fetched = self._verification_closure(
+                        children_of, message.fetch_constants, children)
+                else:
+                    fetched = sorted(set(message.fetch_constants))
+                self._observe_served(document, "constants_served", fetched)
+                for node_id in fetched:
+                    constants[node_id] = int(store.share_of(node_id).constant_term)
+            responses.append(FrontierResponse(evaluations, children,
+                                              polynomials, constants))
+        return responses
+
+    @staticmethod
+    def _verification_closure(children_of: Callable[[int], List[int]],
+                              node_ids: List[int],
+                              children: Dict[int, List[int]]) -> List[int]:
+        """The requested nodes plus all their children (Theorem-1/2 inputs).
+
+        Child lists discovered here are folded into the response's
+        ``children`` map so the client learns the structure in the same
+        exchange.
+        """
+        closure = []
+        seen = set()
+        for node_id in node_ids:
+            child_ids = children.get(node_id)
+            if child_ids is None:
+                child_ids = children_of(node_id)
+                children[node_id] = child_ids
+            for member in [node_id] + child_ids:
+                if member not in seen:
+                    seen.add(member)
+                    closure.append(member)
+        return sorted(closure)
+
+    def _handle_fetch_polynomials(self, document: HostedDocument,
+                                  message: FetchPolynomialsRequest
+                                  ) -> FetchPolynomialsResponse:
+        self._observe_served(document, "polynomials_served", message.node_ids)
+        store = document.store
+        coefficients = {}
+        for node_id in message.node_ids:
+            share = store.share_of(node_id)
+            coefficients[node_id] = [int(share.coefficient(i))
+                                     for i in range(store.ring.degree_bound)]
+        return FetchPolynomialsResponse(coefficients)
+
+    def _handle_fetch_constants(self, document: HostedDocument,
+                                message: FetchConstantsRequest
+                                ) -> FetchConstantsResponse:
+        self._observe_served(document, "constants_served", message.node_ids)
+        store = document.store
+        return FetchConstantsResponse({
+            node_id: int(store.share_of(node_id).constant_term)
+            for node_id in message.node_ids})
+
+    def _handle_prune(self, document: HostedDocument,
+                      message: PruneNotice) -> Acknowledgement:
+        self._observe_prune(document, message.node_ids)
+        return Acknowledgement()
+
+    def _handle_blob(self, document: HostedDocument) -> BlobResponse:
+        if document.encrypted_blob is None:
+            raise ProtocolError("this server has no download-all blob configured")
+        return BlobResponse(document.encrypted_blob)
+
+    # -- reporting -----------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Measured storage across every hosted document (§5)."""
+        return self.registry.total_storage_bits()

@@ -54,6 +54,7 @@ __all__ = [
     "FetchConstantsResponse",
     "PruneNotice",
     "Acknowledgement",
+    "ErrorResponse",
     "BlobRequest",
     "BlobResponse",
     "decode_message",
@@ -426,6 +427,29 @@ class Acknowledgement(Message):
     kind = "ack"
 
 
+class ErrorResponse(Message):
+    """The server's in-band report that a request failed.
+
+    The in-process channel simply lets a handler exception propagate to the
+    caller, but over a real socket the failure has to travel back as a
+    message so the session (and its pipelined successors) survive one bad
+    request.  Clients re-raise the carried text as a
+    :class:`~repro.errors.ProtocolError`.
+    """
+
+    kind = "error"
+
+    def __init__(self, error: str) -> None:
+        self.error = str(error)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": self.error}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "ErrorResponse":
+        return cls(body["error"])
+
+
 class BlobRequest(Message):
     """Download-everything baseline: ask for the whole encrypted blob."""
 
@@ -454,7 +478,7 @@ _MESSAGE_TYPES = {
         ChildrenRequest, ChildrenResponse, EvaluateRequest, EvaluateResponse,
         FrontierRequest, FrontierResponse, FetchPolynomialsRequest,
         FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
-        PruneNotice, Acknowledgement, BlobRequest, BlobResponse,
+        PruneNotice, Acknowledgement, ErrorResponse, BlobRequest, BlobResponse,
     )
 }
 

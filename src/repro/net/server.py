@@ -1,98 +1,64 @@
-"""The untrusted search server engine.
+"""The untrusted search server: in-process facade and blocking sockets.
 
-The server hosts one or more outsourced documents through a
-:class:`~repro.net.engine.DocumentRegistry` (each a pluggable
-:class:`~repro.net.store.ShareStore` backend behind a per-document lock)
-and answers the protocol requests of :mod:`repro.net.messages` — both the
-original v1 per-request messages and the batched v2 frontier protocol,
-negotiated per session via the hello exchange.  It never sees tag names,
-the mapping function, the client seed or full polynomials — only its own
-shares, the query points and the prune notices, which is exactly the view
-analysed by :mod:`repro.analysis.leakage` (and accounted both globally and
-per hosted document).
+The message handlers themselves live in the transport-agnostic
+:class:`~repro.net.engine.ServingCore`; this module provides the two
+synchronous ways of running one:
+
+* :class:`SearchServer` — the historical in-process server object.  It
+  *is* a ``ServingCore`` (every test and benchmark that calls
+  ``server.handle(message)`` keeps working unchanged) plus the
+  single-document conveniences the original construction exposed.
+* :class:`ThreadedSearchServer` — a blocking TCP transport: one OS thread
+  per client session, length-prefixed frames
+  (:mod:`repro.net.framing`) carrying the unchanged v1/v2 message
+  encodings.  This is the baseline the asyncio transport
+  (:mod:`repro.net.aio`) is benchmarked against in BENCH_3.
+
+The server never sees tag names, the mapping function, the client seed or
+full polynomials — only its own shares, the query points and the prune
+notices, which is exactly the view analysed by
+:mod:`repro.analysis.leakage` (and accounted both globally and per hosted
+document).
 """
 
 from __future__ import annotations
 
+import socket
+import socketserver
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
 from ..core.share_tree import ServerShareTree
 from ..errors import ProtocolError
-from .engine import DEFAULT_DOCUMENT, DocumentRegistry, HostedDocument
-from .messages import (
-    SUPPORTED_PROTOCOL_VERSIONS,
-    Acknowledgement,
-    BlobRequest,
-    BlobResponse,
-    ChildrenRequest,
-    ChildrenResponse,
-    EvaluateRequest,
-    EvaluateResponse,
-    FetchConstantsRequest,
-    FetchConstantsResponse,
-    FetchPolynomialsRequest,
-    FetchPolynomialsResponse,
-    FrontierRequest,
-    FrontierResponse,
-    HelloRequest,
-    HelloResponse,
-    Message,
-    PruneNotice,
-    StructureRequest,
-    StructureResponse,
+from .engine import (
+    DEFAULT_DOCUMENT,
+    DocumentRegistry,
+    HostedDocument,
+    ServerObservations,
+    ServingCore,
 )
+from .framing import MAX_FRAME_BYTES, FrameAssembler, encode_frame
+from .messages import ErrorResponse, decode_message
 from .store import InMemoryShareStore, ShareStore
 
-__all__ = ["ServerObservations", "SearchServer"]
+__all__ = ["ServerObservations", "SearchServer", "ThreadedSearchServer"]
 
 
-class ServerObservations:
-    """Everything an honest-but-curious server learns while answering queries."""
-
-    __slots__ = ("points_seen", "pruned_nodes", "evaluated_nodes",
-                 "polynomials_served", "constants_served", "requests_handled")
-
-    def __init__(self) -> None:
-        self.points_seen: List[int] = []
-        self.pruned_nodes: List[int] = []
-        self.evaluated_nodes: List[int] = []
-        self.polynomials_served: List[int] = []
-        self.constants_served: List[int] = []
-        self.requests_handled = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        """Counted summary for reports."""
-        return {
-            "distinct_points_seen": len(set(self.points_seen)),
-            "evaluation_requests": len(self.evaluated_nodes),
-            "pruned_nodes": len(self.pruned_nodes),
-            "polynomials_served": len(self.polynomials_served),
-            "constants_served": len(self.constants_served),
-            "requests_handled": self.requests_handled,
-        }
-
-
-class SearchServer:
-    """Message handler implementing the server role of the §4.3 protocol.
+class SearchServer(ServingCore):
+    """In-process server object implementing the server role of §4.3.
 
     ``SearchServer(share_tree)`` keeps the historical single-document
     construction (the tree is hosted as the default document); additional
-    documents are attached with :meth:`add_document`.  All observation
-    ledgers are double-entry: the per-document ledger feeds tenant-level
-    leakage audits, the aggregate ``observations`` the whole-server view.
+    documents are attached with :meth:`add_document`.  The message
+    handlers are inherited from :class:`~repro.net.engine.ServingCore`, so
+    the same instance can simultaneously back the in-process channel, the
+    threaded socket transport and the asyncio transport.
     """
 
     def __init__(self, share_tree: Optional[Union[ServerShareTree, ShareStore]] = None,
                  encrypted_blob: Optional[bytes] = None,
                  registry: Optional[DocumentRegistry] = None) -> None:
-        self.registry = registry if registry is not None else DocumentRegistry()
-        #: Aggregate honest-but-curious view across every hosted document.
-        self.observations = ServerObservations()
-        # The aggregate ledger is shared by every session and document;
-        # per-document ledgers are written under the same lock because a
-        # handler may update both in one go.
-        self._observations_lock = threading.Lock()
+        super().__init__(registry)
         if share_tree is not None:
             self.add_document(DEFAULT_DOCUMENT, share_tree,
                               encrypted_blob=encrypted_blob)
@@ -125,218 +91,85 @@ class SearchServer:
         """The default document's download-all blob (legacy accessor)."""
         return self.registry.resolve(None).encrypted_blob
 
-    # -- message dispatch ----------------------------------------------------------
-    def handle(self, message: Message) -> Message:
-        """Answer one request message."""
-        with self._observations_lock:
-            self.observations.requests_handled += 1
-        if isinstance(message, HelloRequest):
-            return self._handle_hello(message)
-        document = self.registry.resolve(message.document_id)
-        with self._observations_lock:
-            document.observations.requests_handled += 1
-        with document.lock:
-            if isinstance(message, StructureRequest):
-                return self._handle_structure(document)
-            if isinstance(message, ChildrenRequest):
-                return self._handle_children(document, message)
-            if isinstance(message, EvaluateRequest):
-                return self._handle_evaluate(document, message)
-            if isinstance(message, FrontierRequest):
-                return self._handle_frontier(document, message)
-            if isinstance(message, FetchPolynomialsRequest):
-                return self._handle_fetch_polynomials(document, message)
-            if isinstance(message, FetchConstantsRequest):
-                return self._handle_fetch_constants(document, message)
-            if isinstance(message, PruneNotice):
-                return self._handle_prune(document, message)
-            if isinstance(message, BlobRequest):
-                return self._handle_blob(document)
-        raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
 
-    __call__ = handle
+class _FrameSessionHandler(socketserver.BaseRequestHandler):
+    """One blocking client session: read frame, handle, write frame."""
 
-    # -- observation plumbing ---------------------------------------------------------
-    def _observe_points(self, document: HostedDocument, point: int,
-                        node_ids: List[int]) -> None:
-        with self._observations_lock:
-            for ledger in (self.observations, document.observations):
-                ledger.points_seen.append(point)
-                ledger.evaluated_nodes.extend(node_ids)
-
-    def _observe_prune(self, document: HostedDocument, node_ids: List[int]) -> None:
-        with self._observations_lock:
-            for ledger in (self.observations, document.observations):
-                ledger.pruned_nodes.extend(node_ids)
-
-    def _observe_served(self, document: HostedDocument, attribute: str,
-                        node_ids: List[int]) -> None:
-        with self._observations_lock:
-            for ledger in (self.observations, document.observations):
-                getattr(ledger, attribute).extend(node_ids)
-
-    # -- handlers --------------------------------------------------------------------
-    def _handle_hello(self, message: HelloRequest) -> HelloResponse:
-        """Version negotiation: highest common generation, or a loud error.
-
-        The response describes only the document the session addressed —
-        tenants must not learn which other documents the server hosts.
-        """
-        common = set(message.versions) & set(SUPPORTED_PROTOCOL_VERSIONS)
-        if not common:
-            raise ProtocolError(
-                f"client speaks protocol versions {sorted(message.versions)} but "
-                f"this server supports {list(SUPPORTED_PROTOCOL_VERSIONS)}; "
-                "no common version — upgrade one side")
-        version = max(common)
-        documents: List[str] = []
-        root_id = node_count = None
-        if len(self.registry) > 0:
+    def handle(self) -> None:  # noqa: D102 - socketserver protocol
+        server: "ThreadedSearchServer" = self.server  # type: ignore[assignment]
+        assembler = FrameAssembler(server.max_frame_bytes)
+        self.request.settimeout(server.session_timeout_s)
+        while True:
             try:
-                document = self.registry.resolve(message.document_id)
-            except ProtocolError:
-                if message.document_id is not None:
-                    raise        # an explicitly named unknown document is an error
-            else:
-                documents = [document.document_id]
-                root_id = document.store.root_id
-                node_count = document.store.node_count()
-        return HelloResponse(version, documents=documents,
-                             root_id=root_id, node_count=node_count)
-
-    def _handle_structure(self, document: HostedDocument) -> StructureResponse:
-        root_id = document.store.root_id
-        if root_id is None:
-            raise ProtocolError("the server has no stored data")
-        return StructureResponse(root_id, document.store.node_count())
-
-    def _handle_children(self, document: HostedDocument,
-                         message: ChildrenRequest) -> ChildrenResponse:
-        store = document.store
-        return ChildrenResponse({node_id: store.child_ids(node_id)
-                                 for node_id in message.node_ids})
-
-    def _handle_evaluate(self, document: HostedDocument,
-                         message: EvaluateRequest) -> EvaluateResponse:
-        self._observe_points(document, message.point, message.node_ids)
-        return EvaluateResponse(
-            document.store.evaluate_many(message.node_ids, message.point))
-
-    #: Hard ceiling on speculative evaluation depth per exchange.
-    MAX_LOOKAHEAD = 4
-
-    def _handle_frontier(self, document: HostedDocument,
-                         message: FrontierRequest) -> FrontierResponse:
-        store = document.store
-        if message.prune:
-            self._observe_prune(document, message.prune)
-        # Speculative expansion: evaluate the requested frontier plus up to
-        # ``lookahead`` further levels of the induced subtree, so the client
-        # can consume several descent levels from one exchange.
-        child_lists: Dict[int, List[int]] = {}
-        frontier_nodes = list(message.node_ids)
-        level = frontier_nodes
-        for _ in range(min(max(message.lookahead, 0), self.MAX_LOOKAHEAD)):
-            next_level: List[int] = []
-            for node_id in level:
-                child_lists[node_id] = store.child_ids(node_id)
-                next_level.extend(child_lists[node_id])
-            if not next_level:
+                chunk = self.request.recv(65536)
+            except (socket.timeout, OSError):
                 break
-            frontier_nodes.extend(next_level)
-            level = next_level
-        evaluations: Dict[int, Dict[int, int]] = {}
-        for point in message.points:
-            self._observe_points(document, point, frontier_nodes)
-            evaluations[point] = store.evaluate_many(frontier_nodes, point)
-        children: Dict[int, List[int]] = {}
-        if message.include_children:
-            for node_id in frontier_nodes:
-                if node_id not in child_lists:
-                    child_lists[node_id] = store.child_ids(node_id)
-                children[node_id] = child_lists[node_id]
-        # With ``include_children`` a fetch answers for the listed nodes plus
-        # all their children (the Theorem-1/2 closure); without it the fetch
-        # is exact, matching the v1 fetch semantics.
-        polynomials: Dict[int, List[int]] = {}
-        if message.fetch_polynomials:
-            if message.include_children:
-                fetched = self._verification_closure(
-                    store, message.fetch_polynomials, children)
-            else:
-                fetched = sorted(set(message.fetch_polynomials))
-            self._observe_served(document, "polynomials_served", fetched)
-            degree_bound = store.ring.degree_bound
-            for node_id in fetched:
-                share = store.share_of(node_id)
-                polynomials[node_id] = [int(share.coefficient(i))
-                                        for i in range(degree_bound)]
-        constants: Dict[int, int] = {}
-        if message.fetch_constants:
-            if message.include_children:
-                fetched = self._verification_closure(
-                    store, message.fetch_constants, children)
-            else:
-                fetched = sorted(set(message.fetch_constants))
-            self._observe_served(document, "constants_served", fetched)
-            for node_id in fetched:
-                constants[node_id] = int(store.share_of(node_id).constant_term)
-        return FrontierResponse(evaluations, children, polynomials, constants)
+            if not chunk:
+                break
+            try:
+                payloads = assembler.feed(chunk)
+            except ProtocolError:
+                break  # unframeable stream: drop the session
+            for payload in payloads:
+                try:
+                    response = server.core.handle(decode_message(payload))
+                except Exception as exc:  # noqa: BLE001 - answered in-band
+                    response = ErrorResponse(str(exc))
+                try:
+                    frame = encode_frame(response.encode(),
+                                         server.max_frame_bytes)
+                except ProtocolError as exc:
+                    frame = encode_frame(
+                        ErrorResponse(f"response exceeds the frame limit: "
+                                      f"{exc}").encode(),
+                        server.max_frame_bytes)
+                try:
+                    self.request.sendall(frame)
+                except OSError:
+                    return
 
-    @staticmethod
-    def _verification_closure(store: ShareStore, node_ids: List[int],
-                              children: Dict[int, List[int]]) -> List[int]:
-        """The requested nodes plus all their children (Theorem-1/2 inputs).
 
-        Child lists discovered here are folded into the response's
-        ``children`` map so the client learns the structure in the same
-        exchange.
-        """
-        closure = []
-        seen = set()
-        for node_id in node_ids:
-            child_ids = children.get(node_id)
-            if child_ids is None:
-                child_ids = store.child_ids(node_id)
-                children[node_id] = child_ids
-            for member in [node_id] + child_ids:
-                if member not in seen:
-                    seen.add(member)
-                    closure.append(member)
-        return sorted(closure)
+class ThreadedSearchServer(socketserver.ThreadingTCPServer):
+    """Blocking TCP transport: one thread per session, framed messages.
 
-    def _handle_fetch_polynomials(self, document: HostedDocument,
-                                  message: FetchPolynomialsRequest
-                                  ) -> FetchPolynomialsResponse:
-        self._observe_served(document, "polynomials_served", message.node_ids)
-        store = document.store
-        coefficients = {}
-        for node_id in message.node_ids:
-            share = store.share_of(node_id)
-            coefficients[node_id] = [int(share.coefficient(i))
-                                     for i in range(store.ring.degree_bound)]
-        return FetchPolynomialsResponse(coefficients)
+    This is the conventional way to serve the synchronous
+    :class:`~repro.net.engine.ServingCore` — every session gets its own
+    thread and every request is handled individually, so N concurrent
+    sessions descending the same document each pay their own store pass
+    behind the per-document lock.  The asyncio transport exists precisely
+    to beat this baseline by coalescing those passes; BENCH_3 measures the
+    gap.
+    """
 
-    def _handle_fetch_constants(self, document: HostedDocument,
-                                message: FetchConstantsRequest
-                                ) -> FetchConstantsResponse:
-        self._observe_served(document, "constants_served", message.node_ids)
-        store = document.store
-        return FetchConstantsResponse({
-            node_id: int(store.share_of(node_id).constant_term)
-            for node_id in message.node_ids})
+    daemon_threads = True
+    allow_reuse_address = True
 
-    def _handle_prune(self, document: HostedDocument,
-                      message: PruneNotice) -> Acknowledgement:
-        self._observe_prune(document, message.node_ids)
-        return Acknowledgement()
+    def __init__(self, core: ServingCore, host: str = "127.0.0.1",
+                 port: int = 0, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 session_timeout_s: float = 30.0) -> None:
+        self.core = core
+        self.max_frame_bytes = max_frame_bytes
+        self.session_timeout_s = session_timeout_s
+        super().__init__((host, port), _FrameSessionHandler)
+        self._serve_thread: Optional[threading.Thread] = None
 
-    def _handle_blob(self, document: HostedDocument) -> BlobResponse:
-        if document.encrypted_blob is None:
-            raise ProtocolError("this server has no download-all blob configured")
-        return BlobResponse(document.encrypted_blob)
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` address."""
+        return self.server_address[:2]
 
-    # -- reporting -----------------------------------------------------------------------
-    def storage_bits(self) -> int:
-        """Measured storage across every hosted document (§5)."""
-        return self.registry.total_storage_bits()
+    def start(self) -> "ThreadedSearchServer":
+        """Serve in a background thread (returns self for chaining)."""
+        self._serve_thread = threading.Thread(target=self.serve_forever,
+                                              name="threaded-search-server",
+                                              daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the background thread."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None

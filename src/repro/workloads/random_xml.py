@@ -89,12 +89,17 @@ def generate_random_document(config: RandomXmlConfig) -> XmlDocument:
     # Candidate parents: (element, depth, children_so_far).
     open_parents: List[List] = [[root, 0, 0]]
 
-    while document.size() < config.element_count and open_parents:
+    # The element count is tracked incrementally: document.size() walks the
+    # whole tree, which made generation quadratic in element_count and
+    # dominated benchmark setup for the >10^5-node serving documents.
+    element_count = 1
+    while element_count < config.element_count and open_parents:
         slot = rng.randrange(len(open_parents))
         parent_entry = open_parents[slot]
         parent, depth, fanout = parent_entry
         tag = rng.choices(tags, weights=weights, k=1)[0]
         child = parent.add(tag)
+        element_count += 1
         parent_entry[2] = fanout + 1
         if parent_entry[2] >= config.max_fanout:
             open_parents.pop(slot)

@@ -41,8 +41,17 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("outsource", "lookup", "query", "inspect", "decode"):
+        for command in ("outsource", "lookup", "query", "inspect", "decode",
+                        "serve", "bench"):
             assert command in parser.format_help()
+
+    def test_serve_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "server.db", "--port", "0",
+                                  "--async", "--document-id", "docs"])
+        assert args.command == "serve"
+        assert args.use_async and args.port == 0
+        assert args.document_id == "docs"
 
 
 class TestOutsource:
@@ -159,3 +168,26 @@ class TestBench:
 
     def test_bench_command_listed(self):
         assert "bench" in build_parser().format_help()
+
+    def test_bench_concurrency_writes_bench3_snapshot(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_3_TEST.json")
+        assert main(["bench", "--concurrency", "2", "--quick",
+                     "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "snapshot BENCH_3" in output
+        with open(out, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["snapshot"] == "BENCH_3"
+        concurrency = snapshot["concurrency"]
+        assert concurrency["identical_to_reference"] is True
+        assert set(concurrency["modes"]) == {"sync_threaded", "async_coalesced"}
+        # Shape only — the async-beats-sync assertion needs the full-size
+        # document and lives in the recorded BENCH_3.json, not in a quick
+        # run on a tiny workload.
+        for mode in concurrency["modes"].values():
+            for row in mode.values():
+                assert row["lookups_per_s"] > 0.0
+
+    def test_bench_concurrency_rejects_zero_sessions(self, capsys):
+        assert main(["bench", "--concurrency", "0"]) == 2
+        assert "at least one session" in capsys.readouterr().err

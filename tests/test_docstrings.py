@@ -1,0 +1,54 @@
+"""Tier-1 enforcement of the docstring lint.
+
+CI runs ``python tools/lint_docstrings.py`` as its own step; this test
+runs the identical check from the tier-1 suite so the documentation floor
+(module docstrings everywhere, docstrings on every public class) cannot
+regress locally either.
+"""
+
+import importlib.util
+import pathlib
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_TOOL = _REPO_ROOT / "tools" / "lint_docstrings.py"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location("lint_docstrings", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_lint_tool_exists():
+    assert _TOOL.is_file()
+
+
+def test_src_repro_is_docstring_clean():
+    linter = _load_linter()
+    violations = linter.lint([str(_REPO_ROOT / "src" / "repro")])
+    assert violations == []
+
+
+def test_every_package_init_has_module_docstring():
+    # The headline satellite requirement, asserted directly: every
+    # src/repro/*/__init__.py opens with a module docstring.
+    import ast
+
+    inits = sorted((_REPO_ROOT / "src" / "repro").rglob("__init__.py"))
+    assert inits, "no packages found"
+    for path in inits:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path} has no module docstring"
+
+
+def test_linter_flags_missing_docstrings(tmp_path):
+    linter = _load_linter()
+    bad = tmp_path / "bad.py"
+    bad.write_text("class Public:\n    pass\n")
+    violations = linter.check_file(bad)
+    codes = {line.split(": ")[1].split(" ")[0] for line in violations}
+    assert codes == {"D100", "D101"}
+    init = tmp_path / "__init__.py"
+    init.write_text("")
+    assert any("D104" in line for line in linter.check_file(init))

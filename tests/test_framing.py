@@ -1,0 +1,114 @@
+"""Wire-framing tests: codec round trips, truncation, oversize rejection.
+
+The framed socket transports depend on the length-prefixed codec of
+:mod:`repro.net.framing` being exact: every payload survives a round trip
+through arbitrary chunkings, and every malformed stream is rejected
+loudly before unbounded buffering can happen.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.framing import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    decode_frame_length,
+    encode_frame,
+)
+
+
+class TestEncodeFrame:
+    def test_header_plus_payload(self):
+        frame = encode_frame(b"abc")
+        assert frame == b"\x00\x00\x00\x03abc"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(b"")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+
+    def test_limit_is_inclusive(self):
+        assert encode_frame(b"x" * 10, max_frame_bytes=10)
+
+
+class TestDecodeFrameLength:
+    def test_reads_big_endian_length(self):
+        assert decode_frame_length(b"\x00\x00\x01\x00") == 256
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_length(b"\x00\x00\x01")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_length(b"\x00\x00\x00\x00")
+
+    def test_oversized_announcement_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_length(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError):
+            decode_frame_length(b"\x00\x00\x00\x0b", max_frame_bytes=10)
+
+
+class TestFrameAssembler:
+    def test_single_frame(self):
+        assembler = FrameAssembler()
+        assert assembler.feed(encode_frame(b"hello")) == [b"hello"]
+        assert assembler.at_boundary()
+
+    def test_many_frames_in_one_chunk(self):
+        chunk = b"".join(encode_frame(p) for p in (b"a", b"bb", b"ccc"))
+        assert FrameAssembler().feed(chunk) == [b"a", b"bb", b"ccc"]
+
+    def test_byte_at_a_time(self):
+        assembler = FrameAssembler()
+        frames = []
+        for byte in encode_frame(b"slow"):
+            frames.extend(assembler.feed(bytes([byte])))
+        assert frames == [b"slow"]
+        assert assembler.at_boundary()
+
+    def test_truncated_frame_is_not_yielded(self):
+        assembler = FrameAssembler()
+        frame = encode_frame(b"truncated")
+        assert assembler.feed(frame[:-2]) == []
+        assert not assembler.at_boundary()
+        assert assembler.pending_bytes == len(b"truncated") - 2
+
+    def test_oversized_frame_rejected_from_the_header(self):
+        assembler = FrameAssembler(max_frame_bytes=8)
+        with pytest.raises(ProtocolError):
+            # Only the header arrives; rejection must not wait for payload.
+            assembler.feed(b"\x00\x00\x00\x09")
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            FrameAssembler().feed(b"\x00\x00\x00\x00")
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), max_size=20),
+           st.integers(min_value=1, max_value=64))
+    def test_round_trip_any_chunking(self, payloads, chunk_size):
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assembler = FrameAssembler()
+        out = []
+        for offset in range(0, len(stream), chunk_size):
+            out.extend(assembler.feed(stream[offset:offset + chunk_size]))
+        assert out == payloads
+        assert assembler.at_boundary()
+
+    @given(st.binary(min_size=1, max_size=2000))
+    def test_round_trip_single_payload(self, payload):
+        frame = encode_frame(payload)
+        assert decode_frame_length(frame[:FRAME_HEADER_BYTES]) == len(payload)
+        assert FrameAssembler().feed(frame) == [payload]
+
+    def test_default_limit_accepts_large_frames(self):
+        payload = b"x" * (1024 * 1024)
+        assert FrameAssembler(MAX_FRAME_BYTES).feed(
+            encode_frame(payload)) == [payload]

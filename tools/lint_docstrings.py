@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Docstring lint: a dependency-free pydocstyle select-list.
+
+Enforces the documentation floor of the library (checked in CI and by
+``tests/test_docstrings.py``):
+
+* **D100/D104** — every module and package ``__init__`` under the linted
+  roots carries a module-level docstring;
+* **D101** — every public class (name not starting with ``_``) carries a
+  class docstring.
+
+This is intentionally the same shape as running ``pydocstyle
+--select=D100,D101,D104``, but implemented on :mod:`ast` so CI needs no
+extra dependency and the tier-1 suite can run the identical check.
+
+Usage::
+
+    python tools/lint_docstrings.py [root ...]    # default: src/repro
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterable, List
+
+#: Default lint roots relative to the repository root.
+DEFAULT_ROOTS = ("src/repro",)
+
+
+def iter_python_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    """Every ``*.py`` file under ``root`` (a file path is yielded as-is)."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Violation lines for one file (empty when the file is clean)."""
+    violations: List[str] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    if not ast.get_docstring(tree):
+        code = "D104" if path.name == "__init__.py" else "D100"
+        violations.append(f"{path}:1: {code} missing module docstring")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if not ast.get_docstring(node):
+                violations.append(
+                    f"{path}:{node.lineno}: D101 missing docstring "
+                    f"in public class {node.name!r}")
+    return violations
+
+
+def lint(roots: Iterable[str]) -> List[str]:
+    """All violations under ``roots``, sorted by file."""
+    violations: List[str] = []
+    for root in roots:
+        root_path = pathlib.Path(root)
+        if not root_path.exists():
+            violations.append(f"{root}: lint root does not exist")
+            continue
+        for path in iter_python_files(root_path):
+            violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: print violations, exit 1 when any exist."""
+    roots = argv or list(DEFAULT_ROOTS)
+    violations = lint(roots)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} docstring violation(s)", file=sys.stderr)
+        return 1
+    print(f"docstring lint clean ({', '.join(roots)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
