@@ -40,10 +40,12 @@ __all__ = [
     "run_benchmarks",
     "run_serving_benchmarks",
     "run_concurrency_benchmarks",
+    "run_update_benchmarks",
     "write_snapshot",
     "SNAPSHOT_NAME",
     "SERVING_SNAPSHOT_NAME",
     "CONCURRENCY_SNAPSHOT_NAME",
+    "UPDATES_SNAPSHOT_NAME",
 ]
 
 SNAPSHOT_NAME = "BENCH_1"
@@ -51,6 +53,8 @@ SNAPSHOT_NAME = "BENCH_1"
 SERVING_SNAPSHOT_NAME = "BENCH_2"
 
 CONCURRENCY_SNAPSHOT_NAME = "BENCH_3"
+
+UPDATES_SNAPSHOT_NAME = "BENCH_4"
 
 #: Prime used for the raw F_p multiplication benchmark (large enough that
 #: coefficients are realistic residues, small enough to stay hardware-native).
@@ -562,6 +566,173 @@ def run_concurrency_benchmarks(quick: bool = False,
                    "lookups_per_session": lookups_per_session},
         "concurrency": results,
     }
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-update benchmark (BENCH_4): crash-safe batches + binary pages
+# ---------------------------------------------------------------------------
+
+def _update_subtree(size: int, tags: List[str], seed: int):
+    """A deterministic random subtree of ``size`` nodes over known tags.
+
+    Reuses tags already present in the document so the insertion never
+    needs mapping headroom the benchmark ring does not have.
+    """
+    from .xmltree import XmlElement
+
+    rng = random.Random(seed)
+    root = XmlElement(tags[0])
+    nodes = [root]
+    for index in range(1, size):
+        parent = nodes[rng.randrange(len(nodes))]
+        nodes.append(parent.add(tags[(index * 7) % len(tags)]))
+    return root
+
+
+def bench_update_file_size(server_tree) -> Dict[str, Any]:
+    """On-disk size of the same share tree: v1 JSON rows vs v2 binary pages."""
+    from .net import SQLiteShareStore, write_v1_share_store
+
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_bytes = write_v1_share_store(os.path.join(tmp, "v1.db"), server_tree)
+        v2 = SQLiteShareStore.from_tree(os.path.join(tmp, "v2.db"), server_tree)
+        v2_bytes = v2.file_bytes()
+        v2.close()
+    return {
+        "nodes": server_tree.node_count(),
+        "share_bits": server_tree.storage_bits(),
+        "v1_json_rows_bytes": v1_bytes,
+        "v2_binary_pages_bytes": v2_bytes,
+        "shrink_factor": round(v1_bytes / v2_bytes, 2),
+    }
+
+
+def bench_update_latency(client, server_tree, subtree_sizes,
+                         repeat: int = 3) -> Dict[str, Any]:
+    """Insert/delete latency of crash-safe batches on the durable store.
+
+    Each measurement inserts a fresh ``size``-node subtree under the root
+    of a SQLite-backed document (one WAL-journaled batch), then deletes it
+    again (another batch), keeping the document at its original size
+    between rounds.  ``per_node_ms`` flat across sizes is the linearity
+    check: the pre-fix editor recomputed the whole descendant product per
+    node (O(n²)) and rescanned the id table per node, so its per-node cost
+    grew with the subtree.
+    """
+    from .core import UpdatableTree
+    from .net import SQLiteShareStore
+
+    tags = sorted(client.mapping.tags())
+    results: Dict[str, Any] = {"subtree_sizes": list(subtree_sizes), "sizes": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SQLiteShareStore.from_tree(os.path.join(tmp, "updates.db"),
+                                           server_tree)
+        editor = UpdatableTree(client.ring, client.mapping,
+                               client.share_generator, store)
+        root_id = store.root_id
+        for size in subtree_sizes:
+            insert_best = delete_best = float("inf")
+            for round_index in range(repeat):
+                subtree = _update_subtree(size, tags, seed=size + round_index)
+                start = time.perf_counter()
+                report = editor.insert_subtree(root_id, subtree)
+                insert_best = min(insert_best, time.perf_counter() - start)
+                assert len(report.new_node_ids) == size
+                start = time.perf_counter()
+                removed = editor.delete_subtree(report.new_node_ids[0])
+                delete_best = min(delete_best, time.perf_counter() - start)
+                assert len(removed.removed_node_ids) == size
+            results["sizes"][str(size)] = {
+                "insert_ms": round(insert_best * 1000, 3),
+                "insert_per_node_ms": round(insert_best * 1000 / size, 4),
+                "delete_ms": round(delete_best * 1000, 3),
+                "delete_per_node_ms": round(delete_best * 1000 / size, 4),
+            }
+        store.close()
+    rows = [results["sizes"][str(size)]["insert_per_node_ms"]
+            for size in subtree_sizes]
+    # Per-node cost of the largest vs the smallest subtree: ~1 means the
+    # insert scales linearly in the subtree size (the quadratic editor
+    # scaled this with the subtree size itself).
+    results["insert_linearity_ratio"] = round(rows[-1] / rows[0], 2)
+    return results
+
+
+def bench_update_evaluate_many(server_tree, batch: int = 512) -> Dict[str, Any]:
+    """Batched SQLite ``evaluate_many`` vs the generic per-node fallback."""
+    from .net import ShareStore, SQLiteShareStore
+
+    node_ids = server_tree.node_ids()[:batch]
+    point = 3
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SQLiteShareStore.from_tree(os.path.join(tmp, "eval.db"),
+                                           server_tree, cache_size=0)
+        batched = _ops_per_sec(lambda: store.evaluate_many(node_ids, point),
+                               min_time=0.05)
+        per_node = _ops_per_sec(
+            lambda: ShareStore.evaluate_many(store, node_ids, point),
+            min_time=0.05)
+        assert (store.evaluate_many(node_ids, point)
+                == ShareStore.evaluate_many(store, node_ids, point))
+        store.close()
+    return {
+        "batch_nodes": len(node_ids),
+        "batched_passes_per_sec": round(batched, 2),
+        "per_node_passes_per_sec": round(per_node, 2),
+        "speedup": round(batched / per_node, 2),
+    }
+
+
+def run_update_benchmarks(quick: bool = False) -> Dict[str, Any]:
+    """BENCH_4: durable dynamic updates — latency, crash-safety cost, size.
+
+    One large skewed document (the BENCH_3 workload shape) is outsourced
+    once; the same share tree is then written as a legacy v1 store (JSON
+    coefficient rows) and a v2 store (binary coefficient pages) for the
+    size comparison, and edited through WAL-journaled batches for the
+    latency numbers.
+    """
+    from .core import outsource_document
+
+    element_count = 4000 if quick else 120_000
+    subtree_sizes = [8, 32, 128] if quick else [8, 32, 128, 512]
+    document = _concurrency_document(element_count)
+    client, server_tree, _ = outsource_document(document, seed=b"bench-4")
+    return {
+        "snapshot": UPDATES_SNAPSHOT_NAME,
+        "description": "crash-safe dynamic updates on the durable store: "
+                       "WAL-journaled batch latency, binary coefficient "
+                       "pages vs JSON rows, batched store evaluation",
+        "config": {"quick": quick, "element_count": element_count,
+                   "subtree_sizes": list(subtree_sizes)},
+        "file_size": bench_update_file_size(server_tree),
+        "update_latency": bench_update_latency(client, server_tree,
+                                               subtree_sizes),
+        "evaluate_many": bench_update_evaluate_many(server_tree),
+    }
+
+
+def format_update_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_4 snapshot."""
+    size = results["file_size"]
+    lines = [f"snapshot {results['snapshot']} ({size['nodes']} nodes)",
+             f"  store file: v1 JSON rows {size['v1_json_rows_bytes']} B, "
+             f"v2 binary pages {size['v2_binary_pages_bytes']} B "
+             f"({size['shrink_factor']}x smaller)"]
+    latency = results["update_latency"]
+    for key, row in sorted(latency["sizes"].items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"  insert {key:>4}-node subtree: {row['insert_ms']:8.2f} ms "
+            f"({row['insert_per_node_ms']:.3f} ms/node)   delete "
+            f"{row['delete_ms']:8.2f} ms")
+    lines.append(f"  insert linearity ratio (per-node, largest/smallest): "
+                 f"x{latency['insert_linearity_ratio']}")
+    many = results["evaluate_many"]
+    lines.append(
+        f"  evaluate_many({many['batch_nodes']} nodes): batched "
+        f"{many['batched_passes_per_sec']:.1f}/s vs per-node "
+        f"{many['per_node_passes_per_sec']:.1f}/s (x{many['speedup']})")
+    return "\n".join(lines)
 
 
 def format_concurrency_summary(results: Dict[str, Any]) -> str:

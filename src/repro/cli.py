@@ -17,7 +17,9 @@ Usage::
     python -m repro.cli decode server.json client.json 3
     python -m repro.cli bench --quick --out BENCH_1.json
     python -m repro.cli bench --concurrency 16 --out BENCH_3.json
+    python -m repro.cli bench --updates --out BENCH_4.json
     python -m repro.cli serve server.json --port 9653 --async
+    python -m repro.cli migrate-store server.db
 """
 
 from __future__ import annotations
@@ -116,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="host the document under this id "
                             "(default: the v1-compatible default document)")
 
+    migrate = commands.add_parser(
+        "migrate-store",
+        help="migrate a legacy share-store-sqlite-v1 file (JSON coefficient "
+             "rows) to the v2 format (binary coefficient pages + write-ahead "
+             "update log), losslessly and atomically")
+    migrate.add_argument("server_file", help="path to the v1 SQLite store")
+
     bench = commands.add_parser(
         "bench", help="run the quick kernel benchmark suite and write a "
                       "JSON perf snapshot")
@@ -134,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the BENCH_3 concurrent-throughput benchmark "
                             "(sync threaded vs async coalesced serving) with "
                             "up to N sessions instead of the kernel suite")
+    bench.add_argument("--updates", action="store_true",
+                       help="run the BENCH_4 dynamic-update benchmark "
+                            "(crash-safe batches on the durable store, "
+                            "insert/delete latency scaling, binary-page vs "
+                            "JSON-row file size) instead of the kernel suite")
     return parser
 
 
@@ -267,22 +281,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate_store(args: argparse.Namespace) -> int:
+    from .net import migrate_share_store
+
+    stats = migrate_share_store(args.server_file)
+    if stats["before_bytes"] == stats["after_bytes"]:
+        print(f"{args.server_file}: already in the current format "
+              f"({stats['nodes']} nodes, {stats['before_bytes']} bytes)")
+    else:
+        ratio = stats["before_bytes"] / max(stats["after_bytes"], 1)
+        note = (f"{ratio:.2f}x smaller" if ratio >= 1 else
+                "larger — SQLite page granularity dominates tiny stores")
+        print(f"migrated {args.server_file}: {stats['nodes']} nodes, "
+              f"{stats['before_bytes']} -> {stats['after_bytes']} bytes "
+              f"({note})")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         format_concurrency_summary,
         format_serving_summary,
         format_summary,
+        format_update_summary,
         run_benchmarks,
         run_concurrency_benchmarks,
         run_serving_benchmarks,
+        run_update_benchmarks,
         write_snapshot,
     )
 
-    if args.serving and args.concurrency is not None:
-        print("error: --serving and --concurrency select different "
-              "benchmark suites; pass one of them", file=sys.stderr)
+    selected = [flag for flag, on in
+                (("--serving", args.serving),
+                 ("--concurrency", args.concurrency is not None),
+                 ("--updates", args.updates)) if on]
+    if len(selected) > 1:
+        print(f"error: {' and '.join(selected)} select different benchmark "
+              "suites; pass one of them", file=sys.stderr)
         return 2
-    if args.concurrency is not None:
+    if args.updates:
+        results = run_update_benchmarks(quick=args.quick)
+        out = args.out or "BENCH_4.json"
+        write_snapshot(results, out)
+        print(format_update_summary(results))
+    elif args.concurrency is not None:
         if args.concurrency < 1:
             print("error: --concurrency needs at least one session",
                   file=sys.stderr)
@@ -315,6 +357,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
     "serve": _cmd_serve,
+    "migrate-store": _cmd_migrate_store,
     "bench": _cmd_bench,
 }
 

@@ -179,6 +179,14 @@ class ServerShareTree:
         """All node identifiers."""
         return sorted(self.shares)
 
+    def max_node_id(self) -> Optional[int]:
+        """Largest stored node id (``None`` for an empty tree).
+
+        One pass over the id set; update batches call this once and then
+        count locally instead of rescanning per inserted node.
+        """
+        return max(self.shares) if self.shares else None
+
     def node_count(self) -> int:
         """Number of nodes stored."""
         return len(self.shares)

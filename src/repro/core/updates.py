@@ -22,11 +22,23 @@ The client can do all of this from the public structure plus the server's
 shares (it owns the seed, so it can reconstruct any polynomial it needs),
 then pushes fresh server shares for exactly the affected nodes.  An update
 therefore touches ``O(depth · fanout + |new subtree|)`` nodes.
+
+**Atomicity.**  Every public operation computes all of its new polynomials
+first (reads see the pre-update state throughout) and then pushes the
+whole mutation set as *one* :meth:`repro.net.store.ShareStore.transaction`
+batch.  On the durable SQLite backend that batch travels through a
+write-ahead update log, so a crash mid-update can never leave a torn tree
+whose ancestors no longer equal ``(x − tag) · ∏ children``; on the
+in-memory backend the batch is simply applied in one go.  Passing a
+``lock`` (e.g. a :class:`~repro.net.engine.HostedDocument`'s document
+lock) additionally serialises each whole operation against concurrent
+query traffic on the same store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import contextlib
+from typing import ContextManager, Dict, List, Optional
 
 from ..algebra.poly import Polynomial
 from ..algebra.quotient import EncodingRing
@@ -75,31 +87,49 @@ class UpdatableTree:
     (which nodes receive new shares) is identical, and that is what the
     report captures.
 
-    All mutations go through the tree's own API (``add_node``,
-    ``replace_share``, ``remove_subtree``), so ``server_tree`` may equally
-    be any :class:`repro.net.store.ShareStore` backend — updates against a
-    durable store persist without further plumbing.
+    All mutations of one operation are pushed as a single
+    :meth:`~repro.net.store.ShareStore.transaction` batch, so
+    ``server_tree`` may equally be any :class:`repro.net.store.ShareStore`
+    backend — updates against the durable store persist atomically (the
+    batch is write-ahead logged and replayed or rolled back after a
+    crash).  ``lock``, when given, is held across each whole operation
+    (reads included); hand it a hosted document's lock so a coalesced
+    serving tick never interleaves with a half-computed update.
     """
 
     def __init__(self, ring: EncodingRing, mapping: TagMapping,
                  client_shares: ClientShareGenerator,
-                 server_tree: ServerShareTree) -> None:
+                 server_tree: ServerShareTree,
+                 lock: Optional[ContextManager] = None) -> None:
         self.ring = ring
         self.mapping = mapping
         self.client_shares = client_shares
         self.server_tree = server_tree
+        self.lock = lock
 
     # -- share plumbing -------------------------------------------------------------
+    def _guard(self) -> ContextManager:
+        """The operation-wide lock (a null context when none was given)."""
+        return self.lock if self.lock is not None else contextlib.nullcontext()
+
+    def _transaction(self):
+        """One buffered mutation batch against the server tree/store."""
+        # Imported lazily: repro.core must not depend on repro.net at import
+        # time (net's transports import core).
+        from ..net.store import as_share_store
+
+        return as_share_store(self.server_tree).transaction()
+
     def _node_polynomial(self, node_id: int) -> Polynomial:
         """Reconstruct the true polynomial of a node (client + server share)."""
         return self.ring.add(self.client_shares.share_for(node_id),
                              self.server_tree.share_of(node_id))
 
-    def _write_polynomial(self, node_id: int, polynomial: Polynomial,
+    def _write_polynomial(self, txn, node_id: int, polynomial: Polynomial,
                           report: UpdateReport) -> None:
-        """Store a new value for a node by rewriting its *server* share."""
+        """Buffer a new value for a node by rewriting its *server* share."""
         client_share = self.client_shares.share_for(node_id)
-        self.server_tree.replace_share(node_id, self.ring.sub(polynomial, client_share))
+        txn.replace_share(node_id, self.ring.sub(polynomial, client_share))
         report.shares_rewritten += 1
 
     def _ancestor_path(self, node_id: int) -> List[int]:
@@ -117,23 +147,45 @@ class UpdatableTree:
                     for child in self.server_tree.child_ids(node_id)]
         return self.ring.recover_tag(self._node_polynomial(node_id), children)
 
-    def _recompute_from_children(self, node_id: int, own_value: int,
-                                 report: UpdateReport) -> None:
-        """Set ``node_id`` to ``(x − own_value) · ∏ current children``."""
-        polynomial = self.ring.from_tag_value(own_value)
-        for child in self.server_tree.child_ids(node_id):
-            polynomial = self.ring.mul(polynomial, self._node_polynomial(child))
-        self._write_polynomial(node_id, polynomial, report)
+    def _subtree_polynomials(self, element: XmlElement) -> Dict[int, Polynomial]:
+        """Encode a plaintext subtree bottom-up in **one** pass.
 
-    def _next_node_id(self) -> int:
-        return max(self.server_tree.node_ids()) + 1
+        Returns the §4.1 polynomial of every node, keyed by ``id(node)``.
+        Each node's product is computed exactly once and reused by its
+        parent — the per-node recursion this replaces recomputed the whole
+        descendant product for every node, making insertion O(n²) in the
+        subtree size.
+        """
+        polynomials: Dict[int, Polynomial] = {}
+        for node in element.iter_postorder():
+            polynomial = self.ring.from_tag_value(self.mapping.value(node.tag))
+            for child in node.children:
+                polynomial = self.ring.mul(polynomial, polynomials[id(child)])
+            polynomials[id(node)] = polynomial
+        return polynomials
 
-    def _subtree_polynomial(self, element: XmlElement) -> Polynomial:
-        """Encode a plaintext subtree bottom-up (used for insertions)."""
-        polynomial = self.ring.from_tag_value(self.mapping.value(element.tag))
-        for child in element.children:
-            polynomial = self.ring.mul(polynomial, self._subtree_polynomial(child))
-        return polynomial
+    def _recompute_path(self, txn, ordered_nodes: List[int],
+                        own_values: Dict[int, int], skip_children: set,
+                        report: UpdateReport) -> None:
+        """Recompute ``(x − value) · ∏ children`` bottom-up along a path.
+
+        ``ordered_nodes`` runs child-to-root, so each node's freshly
+        computed polynomial is available (via the overrides map) when its
+        parent multiplies it in — nothing is re-read from the store after
+        the first pass, keeping every read at the pre-update state.
+        """
+        overrides: Dict[int, Polynomial] = {}
+        for node_id in ordered_nodes:
+            polynomial = self.ring.from_tag_value(own_values[node_id])
+            for child in self.server_tree.child_ids(node_id):
+                if child in skip_children:
+                    continue
+                child_polynomial = overrides.get(child)
+                if child_polynomial is None:
+                    child_polynomial = self._node_polynomial(child)
+                polynomial = self.ring.mul(polynomial, child_polynomial)
+            overrides[node_id] = polynomial
+            self._write_polynomial(txn, node_id, polynomial, report)
 
     # -- public operations ------------------------------------------------------------
     def insert_subtree(self, parent_id: int, element: XmlElement) -> UpdateReport:
@@ -143,28 +195,38 @@ class UpdatableTree:
         self.mapping.extend(node.tag for node in element.iter())
         report = UpdateReport("insert")
 
-        # 1. Encode and store the new nodes under fresh identifiers.
-        subtree_polynomial = self._subtree_polynomial(element)
+        with self._guard():
+            # 1. Encode the new nodes bottom-up (one ring product per node)
+            #    and allocate fresh identifiers from one store query.
+            polynomials = self._subtree_polynomials(element)
+            subtree_polynomial = polynomials[id(element)]
+            next_id = (self.server_tree.max_node_id() or 0) + 1
 
-        def _store(node: XmlElement, parent: int) -> None:
-            node_id = self._next_node_id()
-            polynomial = self._subtree_polynomial(node)
-            client_share = self.client_shares.share_for(node_id)
-            self.server_tree.add_node(node_id, parent,
-                                      self.ring.sub(polynomial, client_share))
-            report.new_node_ids.append(node_id)
-            report.shares_rewritten += 1
-            for child in node.children:
-                _store(child, node_id)
+            # 2. Compute the updated ancestor polynomials (reads only).
+            ancestors = [parent_id] + self._ancestor_path(parent_id)
+            updated = {ancestor: self.ring.mul(self._node_polynomial(ancestor),
+                                               subtree_polynomial)
+                       for ancestor in ancestors}
 
-        _store(element, parent_id)
-
-        # 2. Multiply every ancestor polynomial (parent included) by the new
-        #    subtree polynomial and push fresh server shares.
-        ancestors = [parent_id] + self._ancestor_path(parent_id)
-        for ancestor in ancestors:
-            updated = self.ring.mul(self._node_polynomial(ancestor), subtree_polynomial)
-            self._write_polynomial(ancestor, updated, report)
+            # 3. Push everything — new nodes plus every ancestor rewrite —
+            #    as one atomic batch.
+            with self._transaction() as txn:
+                stack = [(element, parent_id)]
+                while stack:
+                    node, node_parent = stack.pop()
+                    node_id = next_id
+                    next_id += 1
+                    client_share = self.client_shares.share_for(node_id)
+                    txn.add_node(node_id, node_parent,
+                                 self.ring.sub(polynomials[id(node)],
+                                               client_share))
+                    report.new_node_ids.append(node_id)
+                    report.shares_rewritten += 1
+                    stack.extend((child, node_id)
+                                 for child in reversed(node.children))
+                for ancestor in ancestors:
+                    self._write_polynomial(txn, ancestor, updated[ancestor],
+                                           report)
         report.affected_ancestors = ancestors
         return report
 
@@ -177,17 +239,22 @@ class UpdatableTree:
             raise QueryError("the document root cannot be deleted")
         report = UpdateReport("delete")
 
-        # 1. Recover the tag value of every affected ancestor before touching
-        #    anything (the values are invariant, the polynomials are not).
-        ancestors = [parent_id] + self._ancestor_path(parent_id)
-        own_values = {ancestor: self._own_tag_value(ancestor) for ancestor in ancestors}
+        with self._guard():
+            # 1. Recover the tag value of every affected ancestor before
+            #    planning anything (the values are invariant, the
+            #    polynomials are not).
+            ancestors = [parent_id] + self._ancestor_path(parent_id)
+            own_values = {ancestor: self._own_tag_value(ancestor)
+                          for ancestor in ancestors}
 
-        # 2. Remove the subtree nodes from the server structure.
-        report.removed_node_ids = self.server_tree.remove_subtree(node_id)
-
-        # 3. Recompute the path bottom-up from the (already consistent) children.
-        for ancestor in ancestors:
-            self._recompute_from_children(ancestor, own_values[ancestor], report)
+            # 2. One batch: the subtree removal plus the bottom-up path
+            #    recomputation (the removed child is skipped from its
+            #    parent's product; deeper ancestors multiply the freshly
+            #    recomputed override of the ancestor below them).
+            with self._transaction() as txn:
+                report.removed_node_ids = txn.remove_subtree(node_id)
+                self._recompute_path(txn, ancestors, own_values, {node_id},
+                                     report)
         report.affected_ancestors = ancestors
         return report
 
@@ -198,12 +265,13 @@ class UpdatableTree:
         self.mapping.extend([new_tag])
         report = UpdateReport("rename")
 
-        affected = [node_id] + self._ancestor_path(node_id)
-        own_values = {node: self._own_tag_value(node) for node in affected}
-        own_values[node_id] = self.mapping.value(new_tag)
+        with self._guard():
+            affected = [node_id] + self._ancestor_path(node_id)
+            own_values = {node: self._own_tag_value(node) for node in affected}
+            own_values[node_id] = self.mapping.value(new_tag)
 
-        for node in affected:
-            self._recompute_from_children(node, own_values[node], report)
+            with self._transaction() as txn:
+                self._recompute_path(txn, affected, own_values, set(), report)
         report.affected_ancestors = affected
         return report
 
@@ -212,13 +280,19 @@ class UpdatableTree:
 
         The data does not change: for every node the server share becomes
         ``polynomial − new_client_share``.  After the refresh the old seed is
-        useless, which limits the damage of a leaked seed.
+        useless, which limits the damage of a leaked seed — and because the
+        whole re-randomisation is one batch, a crash can never strand the
+        tree half on the old seed and half on the new one.
         """
         report = UpdateReport("refresh")
-        for node_id in self.server_tree.node_ids():
-            polynomial = self._node_polynomial(node_id)
-            self.server_tree.replace_share(
-                node_id, self.ring.sub(polynomial, new_generator.share_for(node_id)))
-            report.shares_rewritten += 1
+        with self._guard():
+            with self._transaction() as txn:
+                for node_id in self.server_tree.node_ids():
+                    polynomial = self._node_polynomial(node_id)
+                    txn.replace_share(
+                        node_id,
+                        self.ring.sub(polynomial,
+                                      new_generator.share_for(node_id)))
+                    report.shares_rewritten += 1
         self.client_shares = new_generator
         return report

@@ -45,8 +45,11 @@ from .store import (
     InMemoryShareStore,
     ShareStore,
     SQLiteShareStore,
+    StoreTransaction,
     as_share_store,
+    migrate_share_store,
     open_share_store,
+    write_v1_share_store,
 )
 
 __all__ = [
@@ -79,10 +82,13 @@ __all__ = [
     "HostedDocument",
     "ServingCore",
     "ShareStore",
+    "StoreTransaction",
     "InMemoryShareStore",
     "SQLiteShareStore",
     "as_share_store",
     "open_share_store",
+    "migrate_share_store",
+    "write_v1_share_store",
     "InMemoryServerStore",
     "ring_to_dict",
     "ring_from_dict",

@@ -30,8 +30,9 @@ shard is a registry subset, and a distributed deployment routes
 
 from __future__ import annotations
 
+import contextlib
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError, ReproError
 from .messages import (
@@ -112,6 +113,25 @@ class HostedDocument:
         self.observations = ServerObservations()
         #: Optional opaque blob served to download-everything clients.
         self.encrypted_blob = encrypted_blob
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[Any]:
+        """An atomic update batch against this document, under its lock.
+
+        Yields a :class:`~repro.net.store.StoreTransaction` while holding
+        the document lock for the whole batch — the same lock every
+        handler and every coalesced :meth:`ServingCore.frontier_batch`
+        tick acquires — so concurrent query traffic observes either the
+        full pre-batch or the full post-batch store, never a half-applied
+        update.  Editors that compute their own polynomials
+        (:class:`~repro.core.updates.UpdatableTree`) should instead be
+        constructed with ``lock=document.lock`` so their *reads* are
+        covered too; this context manager is for callers that already hold
+        their inputs.
+        """
+        with self.lock:
+            with self.store.transaction() as txn:
+                yield txn
 
     def __repr__(self) -> str:
         return (f"<HostedDocument {self.document_id!r} "

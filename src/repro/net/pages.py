@@ -1,0 +1,141 @@
+"""Binary paged coefficient encoding for the durable share store.
+
+The v1 SQLite store kept every share polynomial as a JSON text row
+(``"[12,0,7,...]"``), which dominated the file size: a coefficient that
+fits in six bits costs three to four bytes of decimal digits plus a comma.
+The v2 format replaces those rows with a compact binary encoding:
+
+* a coefficient vector is serialised as a fixed header followed by
+  **fixed-width little-endian limbs** — one limb per coefficient, the limb
+  width (in *bits*) chosen per share as the smallest width that holds its
+  largest coefficient, limbs packed back to back into a little-endian
+  bitstream (a width that is a multiple of 8 degenerates to plain
+  byte-aligned little-endian integers).  Signed coefficients, which occur
+  in the ``Z[x]/(r)`` ring, are zigzag-mapped to unsigned limbs first;
+* the resulting blob is stored as a **head segment** inline in the node
+  row plus zero or more fixed-size **overflow pages** (one SQLite row
+  each), so the common small share costs a single row while a single
+  oversized share (the integer ring's coefficients grow with the subtree
+  product) never creates a pathological row and partial reads/writes stay
+  bounded.
+
+The codec is lossless for arbitrary Python integers (any sign, any
+magnitude) and round-trips the empty vector (the zero polynomial) and
+constant shares; :mod:`tests.test_pages` asserts this property-based.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "PAGE_FORMAT_VERSION",
+    "DEFAULT_PAGE_BYTES",
+    "encode_coefficients",
+    "decode_coefficients",
+    "split_pages",
+    "join_pages",
+]
+
+#: Version byte of the binary coefficient encoding (bumped on layout changes).
+PAGE_FORMAT_VERSION = 1
+
+#: Default byte budget per segment: the head segment kept inline in the
+#: node row, and each overflow page row.
+DEFAULT_PAGE_BYTES = 4096
+
+#: Blob header: version, flags, limb width in bits, coefficient count.
+_HEADER = struct.Struct("<BBII")
+
+#: Flag bit: limbs are zigzag-encoded signed values.
+_FLAG_ZIGZAG = 0x01
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one (order-preserving around 0)."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    """Inverse of :func:`_zigzag`."""
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def encode_coefficients(coeffs: Sequence[int]) -> bytes:
+    """Serialise a coefficient vector into one binary blob.
+
+    The limb width is the smallest number of bits that holds the largest
+    (zigzag-mapped, when any coefficient is negative) value; an all-zero
+    vector uses width 0 and carries no payload at all.
+    """
+    values = [int(c) for c in coeffs]
+    flags = 0
+    if any(value < 0 for value in values):
+        flags |= _FLAG_ZIGZAG
+        values = [_zigzag(value) for value in values]
+    width = max((value.bit_length() for value in values), default=0)
+    if width > 0xFFFFFFFF or len(values) > 0xFFFFFFFF:
+        raise ProtocolError("coefficient vector exceeds the page encoding "
+                            "limits (2^32 bits per limb / 2^32 limbs)")
+    header = _HEADER.pack(PAGE_FORMAT_VERSION, flags, width, len(values))
+    if width == 0:
+        return header
+    stream = 0
+    for index, value in enumerate(values):
+        stream |= value << (index * width)
+    return header + stream.to_bytes((len(values) * width + 7) // 8, "little")
+
+
+def decode_coefficients(blob: bytes) -> List[int]:
+    """Inverse of :func:`encode_coefficients` (loud on any corruption)."""
+    if len(blob) < _HEADER.size:
+        raise ProtocolError(
+            f"coefficient blob of {len(blob)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header")
+    version, flags, width, count = _HEADER.unpack_from(blob)
+    if version != PAGE_FORMAT_VERSION:
+        raise ProtocolError(
+            f"coefficient blob has format version {version}; this build "
+            f"reads version {PAGE_FORMAT_VERSION}")
+    expected = _HEADER.size + (count * width + 7) // 8
+    if len(blob) != expected:
+        raise ProtocolError(
+            f"coefficient blob is {len(blob)} bytes but the header announces "
+            f"{count} limbs of {width} bits ({expected} bytes total)")
+    if width == 0:
+        return [0] * count
+    stream = int.from_bytes(blob[_HEADER.size:], "little")
+    if stream >> (count * width):
+        raise ProtocolError(
+            "coefficient blob has bits set beyond its announced "
+            f"{count}×{width}-bit payload")
+    mask = (1 << width) - 1
+    values = [(stream >> (index * width)) & mask for index in range(count)]
+    if flags & _FLAG_ZIGZAG:
+        values = [_unzigzag(value) for value in values]
+    return values
+
+
+def split_pages(blob: bytes, page_bytes: int = DEFAULT_PAGE_BYTES) -> List[bytes]:
+    """Cut a blob into segments of at most ``page_bytes`` each.
+
+    Segment 0 is the head kept inline in the node row; segments 1+ are the
+    overflow page rows.  Every encoded share has a non-empty head (the
+    header alone is 10 bytes), so a stored node always has one.
+    """
+    if page_bytes <= 0:
+        raise ProtocolError(f"page size must be positive, not {page_bytes}")
+    if not blob:
+        raise ProtocolError("refusing to page an empty blob")
+    return [bytes(blob[offset:offset + page_bytes])
+            for offset in range(0, len(blob), page_bytes)]
+
+
+def join_pages(pages: Sequence[bytes]) -> bytes:
+    """Reassemble segments (head first, overflow in page order)."""
+    if not pages:
+        raise ProtocolError("a stored share has no segments; the store is torn")
+    return b"".join(pages)

@@ -114,9 +114,28 @@ def save_share_tree(tree: ServerShareTree, path: str) -> int:
 
 
 def load_share_tree(path: str) -> ServerShareTree:
-    """Load a share tree previously written by :func:`save_share_tree`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return share_tree_from_dict(json.load(handle))
+    """Load a share tree previously written by :func:`save_share_tree`.
+
+    Empty, truncated or otherwise undecodable files are rejected with a
+    :class:`~repro.errors.ProtocolError` that names the path and what was
+    sniffed, instead of an opaque ``JSONDecodeError`` from deep inside the
+    decoder.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if not raw:
+        raise ProtocolError(f"share tree file {path!r} is empty")
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"share tree file {path!r} is not valid JSON "
+            f"(starts with {raw[:16]!r}): {exc}") from exc
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"share tree file {path!r} holds a JSON {type(data).__name__}, "
+            "not the expected object")
+    return share_tree_from_dict(data)
 
 
 class InMemoryServerStore:

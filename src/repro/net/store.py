@@ -17,6 +17,16 @@ API is a strict superset of what :class:`~repro.net.server.SearchServer`
 and :class:`~repro.core.updates.UpdatableTree` need), so every code path —
 queries, verification, dynamic updates — works identically against either
 backend.  Tests assert bit-identical query results across backends.
+
+Since format ``share-store-sqlite-v2`` the durable backend is also
+**crash-safe under multi-mutation updates**: every
+:class:`~repro.core.updates.UpdatableTree` operation travels as one
+:meth:`ShareStore.transaction` batch, which SQLite applies through the
+write-ahead update log of :mod:`repro.net.wal` (intent record, per-mutation
+apply, commit marker, checkpoint — replayed or rolled back on open).
+Coefficients are stored as binary pages (:mod:`repro.net.pages`) instead
+of the v1 JSON text rows; v1 files are migrated losslessly with
+:func:`migrate_share_store` (``python -m repro.cli migrate-store``).
 """
 
 from __future__ import annotations
@@ -27,26 +37,43 @@ import os
 import sqlite3
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.poly import Polynomial
 from ..algebra.quotient import EncodingRing
 from ..core.share_tree import ServerShareTree
 from ..errors import ProtocolError, SharingError
+from . import wal
+from .pages import (
+    DEFAULT_PAGE_BYTES,
+    decode_coefficients,
+    encode_coefficients,
+    join_pages,
+)
 
 __all__ = [
     "ShareStore",
+    "StoreTransaction",
     "InMemoryShareStore",
     "SQLiteShareStore",
     "as_share_store",
     "open_share_store",
+    "migrate_share_store",
+    "write_v1_share_store",
 ]
 
 #: Format marker written into every SQLite store; unknown formats are
 #: rejected loudly (same spirit as the client's ``share_derivation`` marker).
-SQLITE_STORE_FORMAT = "share-store-sqlite-v1"
+SQLITE_STORE_FORMAT = "share-store-sqlite-v2"
+
+#: The PR-2 format (JSON coefficient text rows, rowid child order).  Files
+#: in this format are readable only through :func:`migrate_share_store`.
+LEGACY_SQLITE_STORE_FORMAT = "share-store-sqlite-v1"
 
 _SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: SQLite caps host parameters per statement; stay well under the limit.
+_SQL_CHUNK = 500
 
 
 class ShareStore(abc.ABC):
@@ -85,6 +112,17 @@ class ShareStore(abc.ABC):
     def __contains__(self, node_id: int) -> bool:
         """Whether the store holds a node with this id."""
 
+    def max_node_id(self) -> Optional[int]:
+        """Largest stored node id (``None`` for an empty store).
+
+        Used by :class:`~repro.core.updates.UpdatableTree` to allocate
+        fresh ids with one query per batch instead of one full id scan per
+        inserted node.  Backends with an index on the id column should
+        override this.
+        """
+        ids = self.node_ids()
+        return max(ids) if ids else None
+
     # -- write side (outsourcing and dynamic updates) ------------------------------
     @abc.abstractmethod
     def add_node(self, node_id: int, parent_id: Optional[int],
@@ -98,6 +136,45 @@ class ShareStore(abc.ABC):
     @abc.abstractmethod
     def remove_subtree(self, node_id: int) -> List[int]:
         """Remove a node and every descendant; returns the removed ids."""
+
+    # -- transactional batches -------------------------------------------------------
+    def transaction(self) -> "StoreTransaction":
+        """Open a buffered mutation batch (a context manager).
+
+        Mutations recorded on the returned :class:`StoreTransaction` are
+        validated immediately against the pre-batch state but applied only
+        when the ``with`` block exits cleanly, through
+        :meth:`apply_batch` — on the durable backend that application is
+        atomic across crashes (write-ahead logged), which is what makes
+        multi-node dynamic updates safe.
+        """
+        return StoreTransaction(self)
+
+    def apply_batch(self, ops: Sequence[Tuple]) -> None:
+        """Apply a validated batch of mutation ops.
+
+        The base implementation simply replays the ops through the
+        single-mutation methods; it provides batching semantics (one call
+        site, one lock round on backends that lock per call) but no crash
+        atomicity — memory-backed stores have no durable state to tear.
+        """
+        for op in ops:
+            kind = op[0]
+            if kind == "add":
+                _, node_id, parent_id, share = op
+                self.add_node(node_id, parent_id, share)
+            elif kind == "replace":
+                _, node_id, share = op
+                self.replace_share(node_id, share)
+            elif kind == "remove_subtree":
+                _, node_id, expected = op
+                removed = self.remove_subtree(node_id)
+                if sorted(removed) != sorted(expected):
+                    raise SharingError(
+                        f"subtree {node_id} changed between transaction "
+                        "recording and apply; refusing the batch")
+            else:
+                raise ProtocolError(f"unknown batch op {kind!r}")
 
     # -- generic helpers (shared by every backend) ----------------------------------
     def evaluate(self, node_id: int, point: int) -> int:
@@ -136,6 +213,102 @@ class ShareStore(abc.ABC):
         self.close()
 
 
+class StoreTransaction:
+    """A buffered batch of mutations against one :class:`ShareStore`.
+
+    Mutations are validated against the **pre-batch** state when recorded
+    and applied together on clean exit; an exception inside the ``with``
+    block discards the batch without touching the store.  Reads performed
+    while the transaction is open still see the pre-batch state — callers
+    (:class:`~repro.core.updates.UpdatableTree`) therefore compute every
+    new polynomial first and only then record the writes.
+
+    Structural ops may not overlap within one batch: a node removed by the
+    batch cannot also be added or replaced by it (and vice versa).  The
+    update layer never needs that, and refusing it keeps the write-ahead
+    images unambiguous.
+    """
+
+    def __init__(self, store: ShareStore) -> None:
+        self._store = store
+        self._ops: List[Tuple] = []
+        self._added: set = set()
+        self._replaced: set = set()
+        self._removed: set = set()
+        self._added_root = False
+        self._done = False
+
+    # -- recording -----------------------------------------------------------------
+    def _open_check(self, node_id: int) -> None:
+        if self._done:
+            raise ProtocolError("this store transaction has already finished")
+        if node_id in self._removed:
+            raise SharingError(
+                f"node {node_id} was removed earlier in this transaction")
+
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        """Buffer one node insertion (parents must precede children)."""
+        self._open_check(node_id)
+        if node_id in self._added or node_id in self._store:
+            raise SharingError(f"duplicate node id {node_id}")
+        if parent_id is None:
+            if self._store.root_id is not None or self._added_root:
+                raise SharingError("the share tree already has a root")
+            self._added_root = True
+        elif parent_id not in self._added and (
+                parent_id not in self._store or parent_id in self._removed):
+            raise SharingError(f"parent {parent_id} of node {node_id} is unknown")
+        self._added.add(node_id)
+        self._ops.append(("add", node_id, parent_id, share))
+
+    def replace_share(self, node_id: int, share: Polynomial) -> None:
+        """Buffer one share overwrite of an existing (or just-added) node."""
+        self._open_check(node_id)
+        if node_id not in self._added and node_id not in self._store:
+            raise SharingError(f"unknown node id {node_id}")
+        self._replaced.add(node_id)
+        self._ops.append(("replace", node_id, share))
+
+    def remove_subtree(self, node_id: int) -> List[int]:
+        """Buffer the removal of a whole subtree; returns the doomed ids."""
+        self._open_check(node_id)
+        if node_id not in self._store:
+            raise SharingError(f"unknown node id {node_id}")
+        if self._store.parent_id(node_id) is None:
+            raise SharingError("the root node cannot be removed")
+        removed: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            removed.append(current)
+            stack.extend(self._store.child_ids(current))
+        overlap = set(removed) & (self._added | self._replaced)
+        if overlap:
+            raise SharingError(
+                f"nodes {sorted(overlap)} were touched earlier in this "
+                "transaction and cannot also be removed by it")
+        self._removed.update(removed)
+        self._ops.append(("remove_subtree", node_id, removed))
+        return removed
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def ops(self) -> List[Tuple]:
+        """The buffered ops (recorded order)."""
+        return list(self._ops)
+
+    def __enter__(self) -> "StoreTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        self._done = True
+        if exc_type is None and self._ops:
+            self._store.apply_batch(self._ops)
+
+
 class InMemoryShareStore(ShareStore):
     """A :class:`ShareStore` view over an in-memory ``ServerShareTree``."""
 
@@ -153,6 +326,9 @@ class InMemoryShareStore(ShareStore):
 
     def node_ids(self) -> List[int]:
         return self.tree.node_ids()
+
+    def max_node_id(self) -> Optional[int]:
+        return self.tree.max_node_id()
 
     def child_ids(self, node_id: int) -> List[int]:
         return self.tree.child_ids(node_id)
@@ -190,19 +366,26 @@ class InMemoryShareStore(ShareStore):
 
 
 class SQLiteShareStore(ShareStore):
-    """Durable single-file backend with lazy share loading.
+    """Durable single-file backend with lazy share loading (format v2).
 
-    The node table (``node_id``, ``parent``, JSON coefficient vector) lives
-    in SQLite; child order is insertion order (``rowid``), matching the
-    append semantics of the in-memory tree.  Share polynomials are decoded
-    on demand and kept in a bounded LRU cache — opening a store does *not*
-    materialise the tree, so startup cost and resident memory stay flat in
-    the document size.  All access is serialised by an internal lock; the
-    connection is shared across threads.
+    The structure table (``node_id``, ``parent``, explicit sibling order
+    ``ord``) and the binary coefficient pages (:mod:`repro.net.pages`)
+    live in SQLite under ``PRAGMA journal_mode=WAL``; share polynomials
+    are decoded on demand and kept in a bounded LRU cache, so opening a
+    store does *not* materialise the tree and resident memory stays flat
+    in the document size.  All access is serialised by an internal lock;
+    the connection is shared across threads.
+
+    Single mutations are atomic SQLite transactions.  Multi-mutation
+    batches (:meth:`transaction` / :meth:`apply_batch`) additionally go
+    through the application write-ahead log of :mod:`repro.net.wal`; an
+    interrupted batch is replayed or rolled back on the next open, and
+    ``last_recovery`` reports which of the two happened.
     """
 
     def __init__(self, path: str, ring: Optional[EncodingRing] = None,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
         # Imported here: storage.py imports this module at load time.
         from .storage import ring_from_dict, ring_to_dict
 
@@ -210,54 +393,84 @@ class SQLiteShareStore(ShareStore):
         self.cache_size = cache_size
         self._cache: "OrderedDict[int, Polynomial]" = OrderedDict()
         self._lock = threading.RLock()
+        #: Test-only crash-point hook; called with an increasing step index
+        #: at every batch crash point (after intent, after each mutation,
+        #: after the commit marker).  Raising from it simulates dying there.
+        self.fault_injection_hook = None
+        #: What opening this file required: "clean", "replayed" or "rolled-back".
+        self.last_recovery = "clean"
         self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.execute("PRAGMA journal_mode=TRUNCATE")
+        self._conn.execute("PRAGMA journal_mode=WAL")
         existing = self._conn.execute(
             "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
         ).fetchone()
         if existing:
             stored_format = self._meta("format")
+            if stored_format == LEGACY_SQLITE_STORE_FORMAT:
+                self._conn.close()
+                raise ProtocolError(
+                    f"share store {path!r} uses the legacy JSON-row format "
+                    f"{LEGACY_SQLITE_STORE_FORMAT!r}; migrate it losslessly "
+                    "with `python -m repro.cli migrate-store PATH` and reopen")
             if stored_format != SQLITE_STORE_FORMAT:
+                self._conn.close()
                 raise ProtocolError(
                     f"share store {path!r} uses format {stored_format!r} but this "
                     f"version reads {SQLITE_STORE_FORMAT!r}; refusing to guess")
             self.ring = ring_from_dict(json.loads(self._meta("ring")))
             if ring is not None and ring_to_dict(ring) != ring_to_dict(self.ring):
+                self._conn.close()
                 raise ProtocolError(
                     f"share store {path!r} was written for ring {self.ring.name} "
                     f"but ring {ring.name} was requested")
+            self.page_bytes = int(self._meta("page_bytes") or DEFAULT_PAGE_BYTES)
+            self.last_recovery = wal.recover(self._conn, self.page_bytes)
         else:
             if ring is None:
+                self._conn.close()
                 raise ProtocolError(
                     f"{path!r} is not an existing share store; creating one "
                     "requires an encoding ring")
             self.ring = ring
+            self.page_bytes = page_bytes
             with self._conn:
                 self._conn.execute(
                     "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
                 self._conn.execute(
                     "CREATE TABLE nodes (node_id INTEGER PRIMARY KEY, "
-                    "parent INTEGER, coefficients TEXT NOT NULL)")
+                    "parent INTEGER, ord INTEGER NOT NULL, "
+                    "head BLOB NOT NULL)")
                 self._conn.execute("CREATE INDEX nodes_parent ON nodes (parent)")
+                self._conn.execute(
+                    "CREATE TABLE pages (node_id INTEGER NOT NULL, "
+                    "page_no INTEGER NOT NULL, payload BLOB NOT NULL, "
+                    "PRIMARY KEY (node_id, page_no)) WITHOUT ROWID")
+                wal.ensure_wal_table(self._conn)
                 self._set_meta("format", SQLITE_STORE_FORMAT)
                 self._set_meta("ring", json.dumps(ring_to_dict(ring),
                                                   separators=(",", ":")))
+                self._set_meta("page_bytes", str(page_bytes))
+        self._next_ord = self._max_ord() + 1
 
     # -- construction ---------------------------------------------------------------
     @classmethod
     def from_tree(cls, path: str, tree: ServerShareTree,
-                  cache_size: int = 4096) -> "SQLiteShareStore":
+                  cache_size: int = 4096,
+                  page_bytes: int = DEFAULT_PAGE_BYTES) -> "SQLiteShareStore":
         """Create (or overwrite) a store file from an in-memory share tree."""
         if os.path.exists(path):
             os.remove(path)
-        store = cls(path, ring=tree.ring, cache_size=cache_size)
+        store = cls(path, ring=tree.ring, cache_size=cache_size,
+                    page_bytes=page_bytes)
         with store._lock, store._conn:
-            for node_id in store._preorder(tree):
-                store._conn.execute(
-                    "INSERT INTO nodes (node_id, parent, coefficients) "
-                    "VALUES (?, ?, ?)",
-                    (node_id, tree.parent_id(node_id),
-                     cls._encode_share(tree.share_of(node_id))))
+            for ord_, node_id in enumerate(store._preorder(tree)):
+                wal.upsert_node(store._conn, node_id, tree.parent_id(node_id),
+                                ord_)
+                wal.write_node_pages(
+                    store._conn, node_id,
+                    store._encode_share(tree.share_of(node_id)),
+                    store.page_bytes)
+            store._next_ord = tree.node_count()
         return store
 
     @staticmethod
@@ -271,11 +484,11 @@ class SQLiteShareStore(ShareStore):
             stack.extend(reversed(tree.child_ids(node_id)))
 
     @staticmethod
-    def _encode_share(share: Polynomial) -> str:
-        return json.dumps([int(c) for c in share.coeffs], separators=(",", ":"))
+    def _encode_share(share: Polynomial) -> bytes:
+        return encode_coefficients([int(c) for c in share.coeffs])
 
-    def _decode_share(self, text: str) -> Polynomial:
-        return self.ring.from_coefficients(json.loads(text))
+    def _decode_share(self, blob: bytes) -> Polynomial:
+        return self.ring.from_coefficients(decode_coefficients(blob))
 
     # -- meta table -----------------------------------------------------------------
     def _meta(self, key: str) -> Optional[str]:
@@ -287,6 +500,10 @@ class SQLiteShareStore(ShareStore):
         self._conn.execute(
             "INSERT INTO meta (key, value) VALUES (?, ?) "
             "ON CONFLICT(key) DO UPDATE SET value = excluded.value", (key, value))
+
+    def _max_ord(self) -> int:
+        row = self._conn.execute("SELECT MAX(ord) FROM nodes").fetchone()
+        return -1 if row is None or row[0] is None else int(row[0])
 
     # -- read side -------------------------------------------------------------------
     @property
@@ -306,11 +523,16 @@ class SQLiteShareStore(ShareStore):
                 "SELECT node_id FROM nodes ORDER BY node_id").fetchall()
         return [int(row[0]) for row in rows]
 
+    def max_node_id(self) -> Optional[int]:
+        with self._lock:
+            row = self._conn.execute("SELECT MAX(node_id) FROM nodes").fetchone()
+        return None if row is None or row[0] is None else int(row[0])
+
     def child_ids(self, node_id: int) -> List[int]:
         with self._lock:
             self._require(node_id)
             rows = self._conn.execute(
-                "SELECT node_id FROM nodes WHERE parent = ? ORDER BY rowid",
+                "SELECT node_id FROM nodes WHERE parent = ? ORDER BY ord",
                 (node_id,)).fetchall()
         return [int(row[0]) for row in rows]
 
@@ -322,23 +544,78 @@ class SQLiteShareStore(ShareStore):
             raise SharingError(f"unknown node id {node_id}")
         return None if row[0] is None else int(row[0])
 
+    def _load_blob(self, node_id: int) -> Optional[bytes]:
+        row = self._conn.execute(
+            "SELECT head FROM nodes WHERE node_id = ?", (node_id,)).fetchone()
+        if row is None:
+            return None
+        rows = self._conn.execute(
+            "SELECT payload FROM pages WHERE node_id = ? ORDER BY page_no",
+            (node_id,)).fetchall()
+        return join_pages([row[0]] + [overflow[0] for overflow in rows])
+
+    def _cache_put(self, node_id: int, share: Polynomial) -> None:
+        if self.cache_size > 0:
+            self._cache[node_id] = share
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
     def share_of(self, node_id: int) -> Polynomial:
         with self._lock:
             share = self._cache.get(node_id)
             if share is not None:
                 self._cache.move_to_end(node_id)
                 return share
-            row = self._conn.execute(
-                "SELECT coefficients FROM nodes WHERE node_id = ?",
-                (node_id,)).fetchone()
-            if row is None:
+            blob = self._load_blob(node_id)
+            if blob is None:
                 raise SharingError(f"unknown node id {node_id}")
-            share = self._decode_share(row[0])
-            if self.cache_size > 0:
-                self._cache[node_id] = share
-                if len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+            share = self._decode_share(blob)
+            self._cache_put(node_id, share)
             return share
+
+    def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Evaluate many node shares at one point: one lock round, one
+        ``SELECT ... IN`` per chunk of cache misses, one batched ring pass.
+
+        The base implementation would take the store lock and issue one
+        ``SELECT`` per node — the hot spot ROADMAP flagged for coalesced
+        frontier ticks at high concurrency.
+        """
+        with self._lock:
+            shares: Dict[int, Polynomial] = {}
+            misses: List[int] = []
+            for node_id in node_ids:
+                cached = self._cache.get(node_id)
+                if cached is not None:
+                    self._cache.move_to_end(node_id)
+                    shares[node_id] = cached
+                elif node_id not in shares:
+                    misses.append(node_id)
+            if misses:
+                blobs: Dict[int, List[bytes]] = {}
+                for start in range(0, len(misses), _SQL_CHUNK):
+                    chunk = misses[start:start + _SQL_CHUNK]
+                    marks = ",".join("?" * len(chunk))
+                    rows = self._conn.execute(
+                        f"SELECT node_id, head FROM nodes "
+                        f"WHERE node_id IN ({marks})", chunk).fetchall()
+                    for row_node, head in rows:
+                        blobs[int(row_node)] = [head]
+                    rows = self._conn.execute(
+                        f"SELECT node_id, page_no, payload FROM pages "
+                        f"WHERE node_id IN ({marks}) ORDER BY node_id, page_no",
+                        chunk).fetchall()
+                    for row_node, _, payload in rows:
+                        blobs[int(row_node)].append(payload)
+                for node_id in misses:
+                    payloads = blobs.get(node_id)
+                    if payloads is None:
+                        raise SharingError(f"unknown node id {node_id}")
+                    share = self._decode_share(join_pages(payloads))
+                    shares[node_id] = share
+                    self._cache_put(node_id, share)
+            ordered = [shares[node_id] for node_id in node_ids]
+        return dict(zip(node_ids, self.ring.evaluate_many(ordered, point)))
 
     def __contains__(self, node_id: int) -> bool:
         with self._lock:
@@ -352,17 +629,27 @@ class SQLiteShareStore(ShareStore):
             return len(self._cache)
 
     def storage_bits(self) -> int:
-        # Stream over the table instead of share_of() so a full scan does not
-        # evict the query working set from the LRU cache.
+        # Stream over the tables instead of share_of() so a full scan does
+        # not evict the query working set from the LRU cache.
         with self._lock:
-            rows = self._conn.execute("SELECT coefficients FROM nodes").fetchall()
-        return sum(self.ring.element_storage_bits(self._decode_share(row[0]))
-                   for row in rows)
+            rows = self._conn.execute(
+                "SELECT node_id, head FROM nodes ORDER BY node_id").fetchall()
+            overflow_rows = self._conn.execute(
+                "SELECT node_id, page_no, payload FROM pages "
+                "ORDER BY node_id, page_no").fetchall()
+        blobs: Dict[int, List[bytes]] = {int(node_id): [head]
+                                         for node_id, head in rows}
+        for node_id, _, payload in overflow_rows:
+            blobs[int(node_id)].append(payload)
+        return sum(self.ring.element_storage_bits(
+                       self._decode_share(join_pages(payloads)))
+                   for payloads in blobs.values())
 
     def file_bytes(self) -> int:
-        """Current on-disk size of the store file."""
+        """Current on-disk size of the store file (WAL folded in)."""
         with self._lock:
             self._conn.commit()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         return os.path.getsize(self.path)
 
     def _require(self, node_id: int) -> None:
@@ -384,24 +671,20 @@ class SQLiteShareStore(ShareStore):
             elif parent_id not in self:
                 raise SharingError(f"parent {parent_id} of node {node_id} is unknown")
             with self._conn:
-                self._conn.execute(
-                    "INSERT INTO nodes (node_id, parent, coefficients) "
-                    "VALUES (?, ?, ?)",
-                    (node_id, parent_id, self._encode_share(share)))
-            if self.cache_size > 0:
-                self._cache[node_id] = share
-                if len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                wal.upsert_node(self._conn, node_id, parent_id, self._next_ord)
+                wal.write_node_pages(self._conn, node_id,
+                                     self._encode_share(share), self.page_bytes)
+            self._next_ord += 1
+            self._cache_put(node_id, share)
 
     def replace_share(self, node_id: int, share: Polynomial) -> None:
         share = share if self.ring.is_canonical(share) else self.ring.reduce(share)
         with self._lock:
-            with self._conn:
-                updated = self._conn.execute(
-                    "UPDATE nodes SET coefficients = ? WHERE node_id = ?",
-                    (self._encode_share(share), node_id)).rowcount
-            if not updated:
+            if node_id not in self:
                 raise SharingError(f"unknown node id {node_id}")
+            with self._conn:
+                wal.write_node_pages(self._conn, node_id,
+                                     self._encode_share(share), self.page_bytes)
             if node_id in self._cache:
                 self._cache[node_id] = share
 
@@ -410,22 +693,154 @@ class SQLiteShareStore(ShareStore):
             self._require(node_id)
             if self.parent_id(node_id) is None:
                 raise SharingError("the root node cannot be removed")
-            removed: List[int] = []
-            stack = [node_id]
-            while stack:
-                current = stack.pop()
-                removed.append(current)
-                rows = self._conn.execute(
-                    "SELECT node_id FROM nodes WHERE parent = ? ORDER BY rowid",
-                    (current,)).fetchall()
-                stack.extend(int(row[0]) for row in rows)
+            removed = self._descendants(node_id)
             with self._conn:
-                self._conn.executemany(
-                    "DELETE FROM nodes WHERE node_id = ?",
-                    [(current,) for current in removed])
+                for current in removed:
+                    wal.delete_node(self._conn, current)
             for current in removed:
                 self._cache.pop(current, None)
             return removed
+
+    def _descendants(self, node_id: int) -> List[int]:
+        removed: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            removed.append(current)
+            rows = self._conn.execute(
+                "SELECT node_id FROM nodes WHERE parent = ? ORDER BY ord",
+                (current,)).fetchall()
+            stack.extend(int(row[0]) for row in rows)
+        return removed
+
+    # -- crash-safe batches ------------------------------------------------------------
+    def apply_batch(self, ops: Sequence[Tuple]) -> None:
+        """Apply a mutation batch through the write-ahead update log.
+
+        Protocol (each numbered step is one committed SQLite transaction;
+        a crash between any two steps is recovered on the next open):
+
+        1. the full intent — ``begin`` marker plus one
+           :class:`~repro.net.wal.WalRecord` per mutation with redo *and*
+           undo images;
+        2..n+1. each mutation, applied to ``nodes``/``pages``;
+        n+2. the ``commit`` marker (the batch is now durable);
+        n+3. the checkpoint (log cleared).
+
+        If applying raises in-process (I/O error, injected fault), the
+        store immediately runs the same recovery the next open would, so a
+        *surviving* process also never observes a torn batch.
+        """
+        if not ops:
+            return
+        with self._lock:
+            records = self._build_intent(ops)
+            with self._conn:
+                wal.write_intent(self._conn, records)
+            try:
+                self._fault_point(0)
+                for step, record in enumerate(records, start=1):
+                    with self._conn:
+                        wal.apply_record(self._conn, record, self.page_bytes)
+                    self._fault_point(step)
+                with self._conn:
+                    wal.mark_commit(self._conn)
+                self._fault_point(len(records) + 1)
+                with self._conn:
+                    wal.clear(self._conn)
+                self._apply_to_cache(records)
+            except BaseException:
+                # Recovery inspects the log: no commit marker yet rolls the
+                # batch back, a failure after the marker (checkpoint or
+                # cache fold) replays it — either way the log ends empty
+                # and the LRU/ord state is rebuilt from disk.
+                self._recover_in_place()
+                raise
+
+    def _fault_point(self, step: int) -> None:
+        hook = self.fault_injection_hook
+        if hook is not None:
+            hook(step)
+
+    def _recover_in_place(self) -> None:
+        """Best-effort recovery after a failed batch (see :meth:`apply_batch`).
+
+        Swallows secondary errors: if the connection itself is gone (a
+        simulated or real crash) the on-disk log is intact and the next
+        open recovers instead.
+        """
+        try:
+            self.last_recovery = wal.recover(self._conn, self.page_bytes)
+            self._cache.clear()
+            self._next_ord = self._max_ord() + 1
+        except Exception:
+            pass
+
+    def _build_intent(self, ops: Sequence[Tuple]) -> List[wal.WalRecord]:
+        """Expand batch ops into WAL records with redo and undo images.
+
+        Before-images are read against an overlay of the earlier records
+        in the same batch, so e.g. a ``replace`` of a node added moments
+        before undoes to "absent", not to a stale disk read.
+        """
+        records: List[wal.WalRecord] = []
+        overlay: Dict[int, bytes] = {}
+        next_ord = self._next_ord
+        for op in ops:
+            kind = op[0]
+            if kind == "add":
+                _, node_id, parent_id, share = op
+                share = (share if self.ring.is_canonical(share)
+                         else self.ring.reduce(share))
+                blob = self._encode_share(share)
+                records.append(wal.WalRecord("add", node_id, parent_id,
+                                             next_ord, after=blob))
+                overlay[node_id] = blob
+                next_ord += 1
+            elif kind == "replace":
+                _, node_id, share = op
+                share = (share if self.ring.is_canonical(share)
+                         else self.ring.reduce(share))
+                before = overlay.get(node_id)
+                if before is None:
+                    before = self._load_blob(node_id)
+                    if before is None:
+                        raise SharingError(f"unknown node id {node_id}")
+                blob = self._encode_share(share)
+                records.append(wal.WalRecord("replace", node_id,
+                                             after=blob, before=before))
+                overlay[node_id] = blob
+            elif kind == "remove_subtree":
+                _, node_id, expected = op
+                self._require(node_id)
+                removed = self._descendants(node_id)
+                if sorted(removed) != sorted(expected):
+                    raise SharingError(
+                        f"subtree {node_id} changed between transaction "
+                        "recording and apply; refusing the batch")
+                for current in removed:
+                    row = self._conn.execute(
+                        "SELECT parent, ord FROM nodes WHERE node_id = ?",
+                        (current,)).fetchone()
+                    before = self._load_blob(current)
+                    records.append(wal.WalRecord(
+                        "remove", current, parent=row[0], ord=int(row[1]),
+                        before=before))
+            else:
+                raise ProtocolError(f"unknown batch op {kind!r}")
+        return records
+
+    def _apply_to_cache(self, records: Sequence[wal.WalRecord]) -> None:
+        """Fold a successfully committed batch into the LRU and ord counter."""
+        for record in records:
+            if record.op == "remove":
+                self._cache.pop(record.node_id, None)
+            elif record.op in ("add", "replace"):
+                if record.op == "add" or record.node_id in self._cache:
+                    self._cache_put(record.node_id,
+                                    self._decode_share(record.after))
+                if record.op == "add":
+                    self._next_ord = record.ord + 1
 
     # -- lifecycle -------------------------------------------------------------------
     def close(self) -> None:
@@ -452,11 +867,135 @@ def open_share_store(path: str) -> ShareStore:
     SQLite files are recognised by their magic header and opened lazily;
     anything else is treated as the JSON format of
     :func:`repro.net.storage.load_share_tree` (fully materialised).
+    Empty, truncated or unrecognisable files are rejected with a
+    :class:`~repro.errors.ProtocolError` naming the path and the sniffed
+    header instead of dying inside a decoder.
     """
     with open(path, "rb") as handle:
         magic = handle.read(len(_SQLITE_MAGIC))
     if magic == _SQLITE_MAGIC:
         return SQLiteShareStore(path)
+    if not magic:
+        raise ProtocolError(
+            f"share store {path!r} is empty — neither a SQLite store nor a "
+            "JSON share tree")
+    if _SQLITE_MAGIC.startswith(magic):
+        raise ProtocolError(
+            f"share store {path!r} is a truncated SQLite file "
+            f"(header {magic!r}, {len(magic)} of {len(_SQLITE_MAGIC)} magic "
+            "bytes); restore it from a backup")
     from .storage import load_share_tree
 
-    return InMemoryShareStore(load_share_tree(path))
+    try:
+        return InMemoryShareStore(load_share_tree(path))
+    except ProtocolError:
+        raise
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"cannot open share store {path!r}: header {magic!r} is not "
+            f"SQLite and the JSON loader failed ({exc})") from exc
+
+
+# -- legacy v1 format -----------------------------------------------------------------
+
+def write_v1_share_store(path: str, tree: ServerShareTree) -> int:
+    """Write a legacy ``share-store-sqlite-v1`` file (JSON coefficient rows).
+
+    Kept so migration tooling, tests and the BENCH_4 size comparison can
+    fabricate the PR-2 on-disk format; new stores are always v2.  Returns
+    the file size in bytes.
+    """
+    from .storage import ring_to_dict
+
+    if os.path.exists(path):
+        os.remove(path)
+    conn = sqlite3.connect(path)
+    try:
+        with conn:
+            conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+            conn.execute("CREATE TABLE nodes (node_id INTEGER PRIMARY KEY, "
+                         "parent INTEGER, coefficients TEXT NOT NULL)")
+            conn.execute("CREATE INDEX nodes_parent ON nodes (parent)")
+            conn.execute("INSERT INTO meta (key, value) VALUES ('format', ?)",
+                         (LEGACY_SQLITE_STORE_FORMAT,))
+            conn.execute("INSERT INTO meta (key, value) VALUES ('ring', ?)",
+                         (json.dumps(ring_to_dict(tree.ring),
+                                     separators=(",", ":")),))
+            for node_id in SQLiteShareStore._preorder(tree):
+                conn.execute(
+                    "INSERT INTO nodes (node_id, parent, coefficients) "
+                    "VALUES (?, ?, ?)",
+                    (node_id, tree.parent_id(node_id),
+                     json.dumps([int(c) for c in tree.share_of(node_id).coeffs],
+                                separators=(",", ":"))))
+    finally:
+        conn.close()
+    return os.path.getsize(path)
+
+
+def migrate_share_store(path: str,
+                        page_bytes: int = DEFAULT_PAGE_BYTES) -> Dict[str, int]:
+    """Migrate a legacy v1 store file to the v2 format, in place and lossless.
+
+    The v2 file is built alongside the original and atomically
+    :func:`os.replace`-d over it, so a crash mid-migration leaves the v1
+    file untouched.  Returns ``{"nodes", "before_bytes", "after_bytes"}``.
+    A file already in v2 format is left alone (``nodes`` still reported).
+    """
+    from .storage import ring_from_dict
+
+    with open(path, "rb") as handle:
+        if handle.read(len(_SQLITE_MAGIC)) != _SQLITE_MAGIC:
+            raise ProtocolError(
+                f"{path!r} is not a SQLite share store; only "
+                f"{LEGACY_SQLITE_STORE_FORMAT!r} files need migration")
+    before_bytes = os.path.getsize(path)
+    conn = sqlite3.connect(path)
+    try:
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'format'").fetchone()
+            stored_format = None if row is None else row[0]
+            if stored_format == SQLITE_STORE_FORMAT:
+                nodes = int(conn.execute(
+                    "SELECT COUNT(*) FROM nodes").fetchone()[0])
+                return {"nodes": nodes, "before_bytes": before_bytes,
+                        "after_bytes": before_bytes}
+            if stored_format != LEGACY_SQLITE_STORE_FORMAT:
+                raise ProtocolError(
+                    f"share store {path!r} has format {stored_format!r}; only "
+                    f"{LEGACY_SQLITE_STORE_FORMAT!r} files can be migrated")
+            ring = ring_from_dict(json.loads(conn.execute(
+                "SELECT value FROM meta WHERE key = 'ring'").fetchone()[0]))
+            rows = conn.execute(
+                "SELECT node_id, parent, coefficients FROM nodes "
+                "ORDER BY rowid").fetchall()
+        except sqlite3.Error as exc:
+            raise ProtocolError(
+                f"{path!r} is a SQLite database but not a share store "
+                f"({exc})") from exc
+    finally:
+        conn.close()
+
+    temp_path = f"{path}.migrate-{os.getpid()}"
+    try:
+        store = SQLiteShareStore(temp_path, ring=ring, page_bytes=page_bytes)
+        with store._lock, store._conn:
+            for ord_, (node_id, parent, coefficients) in enumerate(rows):
+                share = ring.from_coefficients(json.loads(coefficients))
+                wal.upsert_node(store._conn, int(node_id),
+                                None if parent is None else int(parent), ord_)
+                wal.write_node_pages(store._conn, int(node_id),
+                                     store._encode_share(share),
+                                     store.page_bytes)
+        after_bytes = store.file_bytes()
+        store.close()
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise
+    return {"nodes": len(rows), "before_bytes": before_bytes,
+            "after_bytes": after_bytes}

@@ -1,0 +1,231 @@
+"""Write-ahead update log for crash-safe batches on the durable store.
+
+The §4.1 product structure makes a dynamic update touch many nodes (the
+whole root-to-node path plus an inserted subtree), and
+:class:`~repro.core.updates.UpdatableTree` pushes those mutations one at a
+time.  On the durable SQLite backend each mutation commits independently,
+so a crash in the middle would leave a *torn* share tree whose ancestor
+polynomials no longer equal ``(x − tag) · ∏ children`` — silently
+corrupting every future query.  This module makes batches atomic with an
+application-level write-ahead log kept in the same database file:
+
+1. **Intent** — before anything is touched, the full batch is written to
+   the ``wal`` table in one SQLite transaction: a ``begin`` marker and one
+   record per mutation carrying both the *after*-image (for replay) and
+   the *before*-image (for rollback).
+2. **Apply** — mutations are applied to the ``nodes``/``pages`` tables,
+   each in its own committed transaction (this is the window a crash can
+   interrupt).
+3. **Commit marker** — a ``commit`` record is appended; from this moment
+   the batch is durable.
+4. **Checkpoint** — the ``wal`` table is cleared.
+
+On open (and after an in-process failure) :func:`recover` inspects the
+log: a log with a commit marker is **replayed** (idempotent redo of every
+after-image), a log without one is **rolled back** (idempotent undo of
+every before-image, in reverse order).  Either way the store reopens in
+exactly the pre-batch or the post-batch state, never in between —
+:mod:`tests.test_crash_safety` kills the apply loop between every pair of
+mutations and asserts precisely that.
+
+Sibling order survives rollback because the v2 schema stores an explicit
+``ord`` column per node (the v1 schema ordered children by ``rowid``,
+which a re-inserted before-image could not reproduce).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import List, NamedTuple, Optional, Tuple
+
+from ..errors import ProtocolError
+from .pages import split_pages
+
+__all__ = [
+    "WalRecord",
+    "ensure_wal_table",
+    "write_intent",
+    "mark_commit",
+    "clear",
+    "recover",
+    "apply_record",
+    "upsert_node",
+    "delete_node",
+    "write_node_pages",
+]
+
+#: Mutation record kinds (``begin``/``commit`` are markers, the rest redo/undo).
+_MARKERS = ("begin", "commit")
+_MUTATIONS = ("add", "replace", "remove")
+
+
+class WalRecord(NamedTuple):
+    """One write-ahead log row (marker or mutation with redo/undo images)."""
+
+    #: ``begin``, ``commit``, ``add``, ``replace`` or ``remove``.
+    op: str
+    #: Node the mutation touches (``None`` for markers).
+    node_id: Optional[int] = None
+    #: Parent image: the new parent for ``add``, the old one for ``remove``.
+    parent: Optional[int] = None
+    #: Sibling-order image (same convention as ``parent``).
+    ord: Optional[int] = None
+    #: Encoded coefficients after the op (``add``/``replace``) — the redo image.
+    after: Optional[bytes] = None
+    #: Encoded coefficients before the op (``replace``/``remove``) — the undo image.
+    before: Optional[bytes] = None
+
+
+def ensure_wal_table(conn: sqlite3.Connection) -> None:
+    """Create the ``wal`` table if the database does not have one yet."""
+    conn.execute(
+        "CREATE TABLE IF NOT EXISTS wal ("
+        "seq INTEGER PRIMARY KEY AUTOINCREMENT, "
+        "op TEXT NOT NULL, "
+        "node_id INTEGER, "
+        "parent INTEGER, "
+        "ord INTEGER, "
+        "after BLOB, "
+        "before BLOB)")
+
+
+def write_intent(conn: sqlite3.Connection, records: List[WalRecord]) -> None:
+    """Append the ``begin`` marker plus every mutation record (no commit)."""
+    conn.execute("INSERT INTO wal (op) VALUES ('begin')")
+    conn.executemany(
+        "INSERT INTO wal (op, node_id, parent, ord, after, before) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        [(record.op, record.node_id, record.parent, record.ord,
+          record.after, record.before) for record in records])
+
+
+def mark_commit(conn: sqlite3.Connection) -> None:
+    """Append the commit marker: the batch is now durable."""
+    conn.execute("INSERT INTO wal (op) VALUES ('commit')")
+
+
+def clear(conn: sqlite3.Connection) -> None:
+    """Checkpoint: drop every log record of the (finished) batch."""
+    conn.execute("DELETE FROM wal")
+
+
+# -- node/page plumbing shared by the apply path and recovery -----------------------
+
+def upsert_node(conn: sqlite3.Connection, node_id: int,
+                parent: Optional[int], ord_: int) -> None:
+    """Write a node's structure row (idempotent).
+
+    A fresh row starts with an empty head segment;
+    :func:`write_node_pages` fills it in the same transaction.
+    """
+    conn.execute(
+        "INSERT INTO nodes (node_id, parent, ord, head) VALUES (?, ?, ?, X'') "
+        "ON CONFLICT(node_id) DO UPDATE SET parent = excluded.parent, "
+        "ord = excluded.ord",
+        (node_id, parent, ord_))
+
+
+def delete_node(conn: sqlite3.Connection, node_id: int) -> None:
+    """Remove a node's structure row and every overflow page (idempotent)."""
+    conn.execute("DELETE FROM pages WHERE node_id = ?", (node_id,))
+    conn.execute("DELETE FROM nodes WHERE node_id = ?", (node_id,))
+
+
+def write_node_pages(conn: sqlite3.Connection, node_id: int, blob: bytes,
+                     page_bytes: int) -> None:
+    """Replace a node's coefficient segments with the paged ``blob``.
+
+    Segment 0 (the head) goes inline into the node row; segments 1+ are
+    written as overflow page rows.  Idempotent: stale overflow pages are
+    dropped first.
+    """
+    segments = split_pages(blob, page_bytes)
+    conn.execute("UPDATE nodes SET head = ? WHERE node_id = ?",
+                 (segments[0], node_id))
+    conn.execute("DELETE FROM pages WHERE node_id = ?", (node_id,))
+    if len(segments) > 1:
+        conn.executemany(
+            "INSERT INTO pages (node_id, page_no, payload) VALUES (?, ?, ?)",
+            [(node_id, page_no, payload)
+             for page_no, payload in enumerate(segments[1:], start=1)])
+
+
+# -- recovery state machine ----------------------------------------------------------
+
+def apply_record(conn: sqlite3.Connection, record: WalRecord,
+                 page_bytes: int) -> None:
+    """Apply one mutation record's redo image (idempotent).
+
+    Used both by the store's live apply loop and by replay recovery, so
+    the two can never disagree about what a record means.
+    """
+    if record.op == "add" or record.op == "replace":
+        if record.op == "add":
+            upsert_node(conn, record.node_id, record.parent, record.ord)
+        write_node_pages(conn, record.node_id, record.after, page_bytes)
+    elif record.op == "remove":
+        delete_node(conn, record.node_id)
+    else:  # pragma: no cover - guarded by _load_records
+        raise ProtocolError(f"cannot replay WAL record {record.op!r}")
+
+
+def _undo(conn: sqlite3.Connection, record: WalRecord, page_bytes: int) -> None:
+    if record.op == "add":
+        delete_node(conn, record.node_id)
+    elif record.op == "replace":
+        write_node_pages(conn, record.node_id, record.before, page_bytes)
+    elif record.op == "remove":
+        upsert_node(conn, record.node_id, record.parent, record.ord)
+        write_node_pages(conn, record.node_id, record.before, page_bytes)
+    else:  # pragma: no cover - guarded by _load_records
+        raise ProtocolError(f"cannot roll back WAL record {record.op!r}")
+
+
+def _load_records(conn: sqlite3.Connection) -> Tuple[List[WalRecord], bool]:
+    """The logged mutations in sequence order, plus the commit-marker flag."""
+    rows = conn.execute(
+        "SELECT op, node_id, parent, ord, after, before FROM wal "
+        "ORDER BY seq").fetchall()
+    records: List[WalRecord] = []
+    committed = False
+    for op, node_id, parent, ord_, after, before in rows:
+        if op == "commit":
+            committed = True
+        elif op in _MUTATIONS:
+            records.append(WalRecord(op, node_id, parent, ord_, after, before))
+        elif op not in _MARKERS:
+            raise ProtocolError(
+                f"the write-ahead log contains an unknown record kind {op!r}; "
+                "refusing to guess at recovery")
+    return records, committed
+
+
+def recover(conn: sqlite3.Connection, page_bytes: int) -> str:
+    """Bring the store to a batch boundary; returns what had to happen.
+
+    * ``"clean"`` — the log was empty, nothing to do;
+    * ``"replayed"`` — a commit marker was found: every after-image was
+      re-applied (idempotently) and the log cleared;
+    * ``"rolled-back"`` — no commit marker: every before-image was
+      restored in reverse order and the log cleared.
+
+    The whole recovery commits as **one** SQLite transaction, so recovery
+    itself crashing mid-way just runs again on the next open.
+    """
+    records, committed = _load_records(conn)
+    if not records and not committed:
+        if conn.execute("SELECT 1 FROM wal LIMIT 1").fetchone() is None:
+            return "clean"
+        # A bare ``begin`` with no mutations: nothing was going to change.
+        with conn:
+            clear(conn)
+        return "rolled-back"
+    with conn:
+        if committed:
+            for record in records:
+                apply_record(conn, record, page_bytes)
+        else:
+            for record in reversed(records):
+                _undo(conn, record, page_bytes)
+        clear(conn)
+    return "replayed" if committed else "rolled-back"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -98,3 +99,34 @@ def outsourced_catalog(catalog_document):
 def prg():
     """A deterministic PRG with a fixed seed."""
     return DeterministicPRG(b"unit-test-seed")
+
+
+@pytest.fixture
+def share_backend(tmp_path):
+    """Route server share trees through the ``REPRO_STORE_BACKEND`` backend.
+
+    Yields a ``wrap(tree)`` callable.  With the default (``memory``)
+    backend it returns the tree unchanged; with ``REPRO_STORE_BACKEND=
+    sqlite`` — the CI matrix leg — it copies the tree into a durable
+    :class:`~repro.net.store.SQLiteShareStore`, so the store-agnostic
+    update and query tests exercise the durable backend on every push
+    instead of only where a test opts in.
+    """
+    from repro.net import SQLiteShareStore
+
+    backend = os.environ.get("REPRO_STORE_BACKEND", "memory")
+    if backend not in ("memory", "sqlite"):
+        raise RuntimeError(f"unknown REPRO_STORE_BACKEND {backend!r}")
+    opened = []
+
+    def wrap(tree):
+        if backend != "sqlite":
+            return tree
+        path = str(tmp_path / f"backend-{len(opened)}.db")
+        store = SQLiteShareStore.from_tree(path, tree)
+        opened.append(store)
+        return store
+
+    yield wrap
+    for store in opened:
+        store.close()

@@ -1,0 +1,196 @@
+"""Crash-injection tests for the WAL-journaled durable share store.
+
+Every :class:`~repro.core.updates.UpdatableTree` operation is one
+write-ahead-logged batch on :class:`~repro.net.store.SQLiteShareStore`.
+These tests kill the store at *every* crash point of every operation —
+after the intent record, after each individual mutation, and after the
+commit marker — then reopen the file and assert the recovered store is
+bit-identical to either the full pre-update state or the full post-update
+state (itself verified bit-identical to the same edit on the in-memory
+backend).  Torn in-between states must be unobservable.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core import (
+    ClientShareGenerator,
+    UpdatableTree,
+    choose_fp_ring,
+    outsource_document,
+)
+from repro.net import SQLiteShareStore
+from repro.prg import DeterministicPRG
+from repro.workloads import CatalogConfig, generate_catalog_document
+from repro.xmltree import parse_element
+
+
+class SimulatedCrash(Exception):
+    """Raised by the fault hook to model the process dying at that point."""
+
+
+def _snapshot(store):
+    """Canonical bit-exact image: structure, child order and coefficients."""
+    return {
+        node_id: (store.parent_id(node_id),
+                  tuple(store.child_ids(node_id)),
+                  tuple(int(c) for c in store.share_of(node_id).coeffs))
+        for node_id in store.node_ids()
+    }
+
+
+def _editor(client, target):
+    return UpdatableTree(client.ring, client.mapping, client.share_generator,
+                         target)
+
+
+OPERATIONS = {
+    "insert": lambda client, editor, marks: editor.insert_subtree(
+        marks["root"],
+        parse_element("<annex><shelf/><shelf><box/></shelf></annex>")),
+    "delete": lambda client, editor, marks: editor.delete_subtree(
+        marks["victim"]),
+    "rename": lambda client, editor, marks: editor.rename_node(
+        marks["victim"], "vip"),
+    "refresh": lambda client, editor, marks: editor.refresh_shares(
+        ClientShareGenerator(client.ring, DeterministicPRG(b"rotated-seed"))),
+}
+
+
+@pytest.fixture(scope="module")
+def crash_env(tmp_path_factory):
+    """A small outsourced document persisted once as the pristine v2 store."""
+    document = generate_catalog_document(
+        CatalogConfig(customers=2, products=1, seed=3))
+    ring = choose_fp_ring(len(document.distinct_tags()) + 4)
+    client, server_tree, _ = outsource_document(document, ring=ring,
+                                                seed=b"crash-seed")
+    base = tmp_path_factory.mktemp("crash")
+    pristine = str(base / "pristine.db")
+    store = SQLiteShareStore.from_tree(pristine, server_tree)
+    marks = {"root": store.root_id,
+             "victim": client.lookup(store, "customer").matches[0]}
+    pre = _snapshot(store)
+    store.close()
+    return {"client": client, "server_tree": server_tree, "pristine": pristine,
+            "marks": marks, "pre": pre, "base": base}
+
+
+def _fresh_copy(env, name):
+    path = str(env["base"] / name)
+    shutil.copy(env["pristine"], path)
+    return path
+
+
+def _run_without_crash(env, operation, name):
+    """The reference run: post-state snapshot plus the crash-point count."""
+    path = _fresh_copy(env, name)
+    store = SQLiteShareStore(path)
+    steps = []
+    store.fault_injection_hook = steps.append
+    OPERATIONS[operation](env["client"], _editor(env["client"], store), env["marks"])
+    post = _snapshot(store)
+    store.close()
+    return post, len(steps)
+
+
+@pytest.mark.parametrize("operation", sorted(OPERATIONS))
+def test_crash_at_every_mutation_boundary(crash_env, operation):
+    env = crash_env
+    post, crash_points = _run_without_crash(env, operation,
+                                            f"reference-{operation}.db")
+    assert post != env["pre"]
+    # Each batch hits the hook after the intent (step 0), after every
+    # mutation, and after the commit marker — at least intent + one
+    # mutation + commit for the smallest operation.
+    assert crash_points >= 3
+
+    outcomes = set()
+    for crash_at in range(crash_points):
+        path = _fresh_copy(env, f"crash-{operation}-{crash_at}.db")
+        store = SQLiteShareStore(path)
+
+        def hook(step, store=store, crash_at=crash_at):
+            if step == crash_at:
+                store._conn.close()     # the process-visible state dies here
+                raise SimulatedCrash(f"killed at crash point {step}")
+
+        store.fault_injection_hook = hook
+        with pytest.raises(SimulatedCrash):
+            OPERATIONS[operation](env["client"],
+                                  _editor(env["client"], store), env["marks"])
+
+        reopened = SQLiteShareStore(path)
+        assert reopened.last_recovery in ("replayed", "rolled-back")
+        recovered = _snapshot(reopened)
+        reopened.close()
+        assert recovered in (env["pre"], post), (
+            f"{operation} crash at point {crash_at} left a torn store")
+        outcomes.add("post" if recovered == post else "pre")
+        # A crash after the intent alone must roll back; a crash after the
+        # commit marker must replay.
+        if crash_at == 0:
+            assert recovered == env["pre"]
+        if crash_at == crash_points - 1:
+            assert recovered == post
+    assert outcomes == {"pre", "post"}
+
+
+@pytest.mark.parametrize("operation", sorted(OPERATIONS))
+def test_post_state_bit_identical_to_in_memory_backend(crash_env, operation):
+    env = crash_env
+    post, _ = _run_without_crash(env, operation, f"bitident-{operation}.db")
+
+    import copy
+
+    memory_tree = copy.deepcopy(env["server_tree"])
+    OPERATIONS[operation](env["client"], _editor(env["client"], memory_tree),
+                          env["marks"])
+    assert post == _snapshot(memory_tree)
+
+
+def test_surviving_process_recovers_in_place(crash_env):
+    """A batch that fails *without* killing the connection self-heals."""
+    env = crash_env
+    path = _fresh_copy(env, "inplace.db")
+    store = SQLiteShareStore(path)
+
+    def hook(step):
+        if step == 2:
+            raise RuntimeError("transient I/O error")
+
+    store.fault_injection_hook = hook
+    with pytest.raises(RuntimeError):
+        OPERATIONS["insert"](env["client"], _editor(env["client"], store),
+                             env["marks"])
+    store.fault_injection_hook = None
+    # The same still-open store rolled itself back and stays usable.
+    assert store.last_recovery == "rolled-back"
+    assert _snapshot(store) == env["pre"]
+    report = OPERATIONS["insert"](env["client"], _editor(env["client"], store),
+                                  env["marks"])
+    assert report.new_node_ids
+    store.close()
+
+
+def test_recovery_is_itself_idempotent(crash_env):
+    """Recovery re-runs cleanly if the process dies during recovery."""
+    env = crash_env
+    path = _fresh_copy(env, "rerecover.db")
+    store = SQLiteShareStore(path)
+
+    def hook(step, store=store):
+        if step == 1:
+            store._conn.close()
+            raise SimulatedCrash()
+
+    store.fault_injection_hook = hook
+    with pytest.raises(SimulatedCrash):
+        OPERATIONS["refresh"](env["client"], _editor(env["client"], store),
+                              env["marks"])
+    # Open/recover twice in a row: same pre-state both times.
+    for _ in range(2):
+        reopened = SQLiteShareStore(path)
+        assert _snapshot(reopened) == env["pre"]
+        reopened.close()

@@ -1,0 +1,89 @@
+"""Property-based round-trips for the binary paged coefficient codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.pages import (
+    DEFAULT_PAGE_BYTES,
+    decode_coefficients,
+    encode_coefficients,
+    join_pages,
+    split_pages,
+)
+
+coefficient_vectors = st.lists(
+    st.integers(min_value=-(2 ** 96), max_value=2 ** 96), max_size=80)
+
+
+class TestCoefficientCodec:
+    @given(coefficient_vectors)
+    def test_round_trip(self, coeffs):
+        assert decode_coefficients(encode_coefficients(coeffs)) == coeffs
+
+    def test_empty_vector(self):
+        # The zero polynomial: no coefficients at all.
+        assert decode_coefficients(encode_coefficients([])) == []
+
+    def test_constant_share(self):
+        assert decode_coefficients(encode_coefficients([7])) == [7]
+        assert decode_coefficients(encode_coefficients([-3])) == [-3]
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_all_zero_vector_has_no_payload(self, count):
+        blob = encode_coefficients([0] * count)
+        assert decode_coefficients(blob) == [0] * count
+        # Width-0 limbs: the header alone carries the whole vector.
+        assert len(blob) == len(encode_coefficients([]))
+
+    def test_sub_byte_limbs_pack_tightly(self):
+        # 52 residues below 53 need 6-bit limbs: 39 payload bytes, not 52.
+        coeffs = [i % 53 for i in range(52)]
+        blob = encode_coefficients(coeffs)
+        assert len(blob) - len(encode_coefficients([])) == (52 * 6 + 7) // 8
+        assert decode_coefficients(blob) == coeffs
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_coefficients([5, 6, 7])
+        with pytest.raises(ProtocolError):
+            decode_coefficients(blob[:-1])
+        with pytest.raises(ProtocolError):
+            decode_coefficients(blob + b"\x00")
+        with pytest.raises(ProtocolError):
+            decode_coefficients(b"\x01")
+
+    def test_unknown_version_rejected(self):
+        blob = encode_coefficients([5, 6, 7])
+        with pytest.raises(ProtocolError):
+            decode_coefficients(b"\x7f" + blob[1:])
+
+    def test_stray_high_bits_rejected(self):
+        blob = bytearray(encode_coefficients([1, 1, 1]))
+        blob[-1] |= 0x80          # beyond the announced 3x1-bit payload
+        with pytest.raises(ProtocolError):
+            decode_coefficients(bytes(blob))
+
+
+class TestPaging:
+    @settings(max_examples=60)
+    @given(coefficient_vectors, st.integers(min_value=1, max_value=64))
+    def test_split_join_round_trip(self, coeffs, page_bytes):
+        blob = encode_coefficients(coeffs)
+        pages = split_pages(blob, page_bytes)
+        assert all(len(page) <= page_bytes for page in pages)
+        assert all(pages[:-1]) and len(pages[-1]) > 0
+        assert join_pages(pages) == blob
+        assert decode_coefficients(join_pages(pages)) == coeffs
+
+    def test_single_page_for_small_blobs(self):
+        blob = encode_coefficients(list(range(20)))
+        assert split_pages(blob, DEFAULT_PAGE_BYTES) == [blob]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ProtocolError):
+            split_pages(b"")
+        with pytest.raises(ProtocolError):
+            split_pages(b"x", 0)
+        with pytest.raises(ProtocolError):
+            join_pages([])

@@ -336,3 +336,75 @@ class TestConcurrentQueries:
             thread.join()
         assert all(outcome == expected for outcome in results.values())
         store.close()
+
+
+class TestDocumentTransactions:
+    def test_transaction_holds_the_document_lock(self, outsourced_catalog):
+        _, server_tree, _ = outsourced_catalog
+        server = SearchServer(server_tree)
+        document = server.document()
+        answered = threading.Event()
+
+        def query():
+            server.handle(StructureRequest())
+            answered.set()
+
+        with document.transaction() as txn:
+            assert txn is not None
+            worker = threading.Thread(target=query)
+            worker.start()
+            # The handler needs the document lock, which the open
+            # transaction holds: it must not answer yet.
+            assert not answered.wait(0.2)
+        worker.join(timeout=5)
+        assert answered.is_set()
+
+    def test_updates_under_document_lock_stay_consistent(self,
+                                                         outsourced_catalog):
+        """Lookups racing WAL batches see pre- or post-update, nothing else."""
+        from repro.core import UpdatableTree, choose_fp_ring
+        from repro.xmltree import XmlElement
+
+        document_src = generate_catalog_document(
+            CatalogConfig(customers=3, products=2, seed=9))
+        ring = choose_fp_ring(len(document_src.distinct_tags()) + 4)
+        client, tree, _ = outsource_document(document_src, ring=ring,
+                                             seed=b"locked-updates")
+        server = SearchServer(tree)
+        document = server.document()
+        editor = UpdatableTree(client.ring, client.mapping,
+                               client.share_generator, document.store,
+                               lock=document.lock)
+        client.mapping.extend(["annex", "shelf"])
+        stop = threading.Event()
+        errors = []
+
+        adapter, _ = connect(server)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    # Through the engine: every request round takes the
+                    # document lock the editor holds across each batch.
+                    matches = client.lookup(adapter, "annex",
+                                            verification=VerificationMode.NONE,
+                                            ).matches
+                    # Subtrees are inserted then deleted whole: any count
+                    # in between would be a torn intermediate state.
+                    if len(matches) not in (0, 1):
+                        errors.append(f"torn annex count {len(matches)}")
+            except Exception as exc:  # noqa: BLE001 - surfaced to the test
+                errors.append(repr(exc))
+
+        worker = threading.Thread(target=reader)
+        worker.start()
+        try:
+            for _ in range(5):
+                subtree = XmlElement("annex")
+                subtree.add("shelf")
+                report = editor.insert_subtree(tree.root_id, subtree)
+                editor.delete_subtree(report.new_node_ids[0])
+        finally:
+            stop.set()
+            worker.join(timeout=10)
+        assert not errors

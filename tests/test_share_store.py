@@ -6,10 +6,13 @@ from repro.core import UpdatableTree, outsource_document
 from repro.errors import ProtocolError, SharingError
 from repro.net import (
     InMemoryShareStore,
+    ShareStore,
     SQLiteShareStore,
     as_share_store,
+    migrate_share_store,
     open_share_store,
     save_share_tree,
+    write_v1_share_store,
 )
 from repro.xmltree import XmlElement
 
@@ -152,6 +155,179 @@ class TestSQLiteShareStore:
         with pytest.raises(SharingError):
             sqlite_store.remove_subtree(sqlite_store.root_id)
 
+    def test_max_node_id(self, outsourced_catalog, sqlite_store):
+        _, server_tree, _ = outsourced_catalog
+        assert sqlite_store.max_node_id() == max(server_tree.node_ids())
+        assert server_tree.max_node_id() == max(server_tree.node_ids())
+        assert InMemoryShareStore(server_tree).max_node_id() == \
+            max(server_tree.node_ids())
+
+    def test_evaluate_many_batched_matches_generic(self, outsourced_catalog,
+                                                   tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        path = str(tmp_path / "batched.db")
+        SQLiteShareStore.from_tree(path, server_tree).close()
+        store = SQLiteShareStore(path, cache_size=8)
+        node_ids = server_tree.node_ids()
+        for point in (1, 3, 5):
+            # Cold cache, warm cache and the generic per-node fallback all
+            # agree with the in-memory tree.
+            assert store.evaluate_many(node_ids, point) == \
+                server_tree.evaluate_many(node_ids, point)
+            assert store.evaluate_many(node_ids, point) == \
+                ShareStore.evaluate_many(store, node_ids, point)
+        assert store.cached_share_count() == 8
+        with pytest.raises(SharingError):
+            store.evaluate_many(node_ids + [10 ** 6], 3)
+        store.close()
+
+    def test_evaluate_many_spans_parameter_chunks(self, outsourced_catalog,
+                                                  tmp_path, monkeypatch):
+        from repro.net import store as store_module
+
+        _, server_tree, _ = outsourced_catalog
+        monkeypatch.setattr(store_module, "_SQL_CHUNK", 7)
+        store = SQLiteShareStore.from_tree(str(tmp_path / "chunks.db"),
+                                           server_tree, cache_size=0)
+        node_ids = server_tree.node_ids()
+        assert store.evaluate_many(node_ids, 2) == \
+            server_tree.evaluate_many(node_ids, 2)
+        store.close()
+
+    def test_overflow_pages_round_trip(self, outsourced_catalog, tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        store = SQLiteShareStore.from_tree(str(tmp_path / "overflow.db"),
+                                           server_tree, page_bytes=16)
+        for node_id in server_tree.node_ids():
+            assert store.share_of(node_id) == server_tree.share_of(node_id)
+        store.close()
+        reopened = SQLiteShareStore(str(tmp_path / "overflow.db"),
+                                    cache_size=0)
+        assert reopened.evaluate_many(server_tree.node_ids(), 3) == \
+            server_tree.evaluate_many(server_tree.node_ids(), 3)
+        reopened.close()
+
+
+class TestStoreTransactions:
+    def test_batch_applies_on_clean_exit(self, outsourced_catalog, sqlite_store):
+        _, server_tree, _ = outsourced_catalog
+        new_id = sqlite_store.max_node_id() + 1
+        share = sqlite_store.share_of(sqlite_store.root_id)
+        with sqlite_store.transaction() as txn:
+            txn.add_node(new_id, sqlite_store.root_id, share)
+            txn.replace_share(new_id, share)
+            # Buffered: the store itself is untouched until exit.
+            assert new_id not in sqlite_store
+        assert new_id in sqlite_store
+        assert sqlite_store.child_ids(sqlite_store.root_id)[-1] == new_id
+
+    def test_batch_discarded_on_exception(self, outsourced_catalog,
+                                          sqlite_store):
+        _, server_tree, _ = outsourced_catalog
+        new_id = sqlite_store.max_node_id() + 1
+        share = sqlite_store.share_of(sqlite_store.root_id)
+        with pytest.raises(RuntimeError):
+            with sqlite_store.transaction() as txn:
+                txn.add_node(new_id, sqlite_store.root_id, share)
+                raise RuntimeError("caller changed its mind")
+        assert new_id not in sqlite_store
+
+    def test_recording_validates_against_pre_state(self, outsourced_catalog,
+                                                   sqlite_store):
+        _, server_tree, _ = outsourced_catalog
+        root = sqlite_store.root_id
+        share = sqlite_store.share_of(root)
+        victim = sqlite_store.child_ids(root)[0]
+        with sqlite_store.transaction() as txn:
+            with pytest.raises(SharingError):
+                txn.add_node(root, None, share)          # duplicate root
+            with pytest.raises(SharingError):
+                txn.replace_share(10 ** 6, share)        # unknown node
+            with pytest.raises(SharingError):
+                txn.remove_subtree(root)                 # root removal
+            removed = txn.remove_subtree(victim)
+            assert victim in removed
+            with pytest.raises(SharingError):
+                txn.replace_share(victim, share)         # removed earlier
+            with pytest.raises(SharingError):
+                txn.add_node(sqlite_store.max_node_id() + 1, victim, share)
+        assert victim not in sqlite_store
+
+    def test_second_root_in_one_batch_rejected(self, outsourced_catalog,
+                                               tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        store = SQLiteShareStore(str(tmp_path / "fresh.db"),
+                                 ring=server_tree.ring)
+        share = server_tree.share_of(server_tree.root_id)
+        with store.transaction() as txn:
+            txn.add_node(1, None, share)
+            with pytest.raises(SharingError, match="already has a root"):
+                txn.add_node(2, None, share)
+            txn.add_node(2, 1, share)
+        assert store.root_id == 1
+        store.close()
+
+    def test_in_memory_transaction_writes_through(self, outsourced_catalog):
+        _, server_tree, _ = outsourced_catalog
+        store = as_share_store(server_tree)
+        new_id = server_tree.max_node_id() + 1
+        with store.transaction() as txn:
+            txn.add_node(new_id, server_tree.root_id,
+                         server_tree.share_of(server_tree.root_id))
+        assert new_id in server_tree
+
+
+class TestMigration:
+    def test_v1_file_rejected_with_migration_hint(self, outsourced_catalog,
+                                                  tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        path = str(tmp_path / "legacy.db")
+        write_v1_share_store(path, server_tree)
+        with pytest.raises(ProtocolError, match="migrate-store"):
+            SQLiteShareStore(path)
+        with pytest.raises(ProtocolError, match="migrate-store"):
+            open_share_store(path)
+
+    def test_migration_is_lossless(self, outsourced_catalog, tmp_path):
+        client, server_tree, _ = outsourced_catalog
+        path = str(tmp_path / "legacy.db")
+        write_v1_share_store(path, server_tree)
+        stats = migrate_share_store(path)
+        assert stats["nodes"] == server_tree.node_count()
+        store = SQLiteShareStore(path)
+        assert store.node_ids() == server_tree.node_ids()
+        for node_id in server_tree.node_ids():
+            assert store.share_of(node_id) == server_tree.share_of(node_id)
+            assert store.child_ids(node_id) == server_tree.child_ids(node_id)
+        assert client.lookup(store, "customer").matches == \
+            client.lookup(server_tree, "customer").matches
+        store.close()
+
+    def test_migration_idempotent_and_guarded(self, outsourced_catalog,
+                                              tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        path = str(tmp_path / "legacy.db")
+        write_v1_share_store(path, server_tree)
+        first = migrate_share_store(path)
+        second = migrate_share_store(path)     # already v2: a no-op
+        assert second["before_bytes"] == second["after_bytes"]
+        assert first["nodes"] == second["nodes"]
+        json_path = tmp_path / "tree.json"
+        save_share_tree(server_tree, str(json_path))
+        with pytest.raises(ProtocolError):
+            migrate_share_store(str(json_path))
+
+    def test_foreign_sqlite_database_rejected(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "foreign.db")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ProtocolError, match="not a share store"):
+            migrate_share_store(path)
+
 
 @pytest.fixture
 def roomy_catalog(catalog_document):
@@ -219,6 +395,35 @@ class TestOpenShareStore:
         store = open_share_store(path)
         assert isinstance(store, InMemoryShareStore)
         assert store.node_count() == server_tree.node_count()
+
+    def test_empty_file_rejected_loudly(self, tmp_path):
+        path = tmp_path / "empty.db"
+        path.write_bytes(b"")
+        with pytest.raises(ProtocolError, match="empty"):
+            open_share_store(str(path))
+
+    def test_truncated_sqlite_header_rejected_loudly(self, tmp_path):
+        path = tmp_path / "truncated.db"
+        path.write_bytes(b"SQLite f")       # a partial magic header
+        with pytest.raises(ProtocolError, match="truncated"):
+            open_share_store(str(path))
+
+    def test_garbage_rejected_with_sniffed_header(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x89PNG\r\n\x1a\n not a store at all")
+        with pytest.raises(ProtocolError) as excinfo:
+            open_share_store(str(path))
+        assert "garbage.bin" in str(excinfo.value)
+        assert "PNG" in str(excinfo.value)
+
+    def test_truncated_json_rejected_loudly(self, outsourced_catalog,
+                                            tmp_path):
+        _, server_tree, _ = outsourced_catalog
+        path = tmp_path / "torn.json"
+        save_share_tree(server_tree, str(path))
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(ProtocolError, match="torn.json"):
+            open_share_store(str(path))
 
 
 class TestAtomicSave:

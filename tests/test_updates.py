@@ -29,14 +29,17 @@ def _decoded_tags(client, server_tree):
 
 
 @pytest.fixture(params=["fp", "int"])
-def editable_setup(request, catalog_document):
+def editable_setup(request, catalog_document, share_backend):
     ring = None if request.param == "fp" else choose_int_ring(2)
     # Leave headroom in the F_p mapping so inserts can introduce new tags.
     if request.param == "fp":
         ring = choose_fp_ring(len(catalog_document.distinct_tags()) + 4)
     client, server_tree, _ = outsource_document(catalog_document, ring=ring,
                                                 seed=b"update-seed")
-    return catalog_document, client, server_tree
+    # ``share_backend`` routes the tree through the REPRO_STORE_BACKEND
+    # backend (identity by default, a durable SQLite store in the CI
+    # matrix leg), so every update test also runs against the WAL path.
+    return catalog_document, client, share_backend(server_tree)
 
 
 class TestInsert:
