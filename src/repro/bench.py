@@ -17,6 +17,7 @@ sorted keys and a stable schema so future perf PRs can diff against
 from __future__ import annotations
 
 import json
+import math
 import os
 import random
 import tempfile
@@ -41,11 +42,13 @@ __all__ = [
     "run_serving_benchmarks",
     "run_concurrency_benchmarks",
     "run_update_benchmarks",
+    "run_fault_benchmarks",
     "write_snapshot",
     "SNAPSHOT_NAME",
     "SERVING_SNAPSHOT_NAME",
     "CONCURRENCY_SNAPSHOT_NAME",
     "UPDATES_SNAPSHOT_NAME",
+    "FAULTS_SNAPSHOT_NAME",
 ]
 
 SNAPSHOT_NAME = "BENCH_1"
@@ -55,6 +58,8 @@ SERVING_SNAPSHOT_NAME = "BENCH_2"
 CONCURRENCY_SNAPSHOT_NAME = "BENCH_3"
 
 UPDATES_SNAPSHOT_NAME = "BENCH_4"
+
+FAULTS_SNAPSHOT_NAME = "BENCH_5"
 
 #: Prime used for the raw F_p multiplication benchmark (large enough that
 #: coefficients are realistic residues, small enough to stay hardware-native).
@@ -81,6 +86,17 @@ def _ops_per_sec(fn: Callable[[], Any], min_time: float = 0.10,
             fn()
         best = min(best, (time.perf_counter() - start) / number)
     return 1.0 / best
+
+
+def _percentiles(latencies_s: List[float],
+                 points: tuple = (50, 95, 99)) -> Dict[str, float]:
+    """Nearest-rank latency percentiles in milliseconds (p50/p95/p99)."""
+    ordered = sorted(latencies_s)
+    columns: Dict[str, float] = {}
+    for q in points:
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        columns[f"p{q}_ms"] = round(ordered[rank] * 1000.0, 3)
+    return columns
 
 
 def _timed_pair(fast: Callable[[], Any], generic: Callable[[], Any],
@@ -425,6 +441,8 @@ def _concurrent_lookups(client, ring, port: int, sessions: int,
 
     errors: List[BaseException] = []
     barrier = threading.Barrier(sessions + 1)
+    latencies: List[float] = []
+    latencies_lock = threading.Lock()
 
     def run_session(index: int) -> None:
         try:
@@ -434,8 +452,12 @@ def _concurrent_lookups(client, ring, port: int, sessions: int,
                 rotated = tags[index % len(tags):] + tags[:index % len(tags)]
                 barrier.wait()
                 for tag in rotated:
+                    lookup_start = time.perf_counter()
                     outcome = client.lookup(adapter, tag,
                                             verification=VerificationMode.NONE)
+                    lookup_s = time.perf_counter() - lookup_start
+                    with latencies_lock:
+                        latencies.append(lookup_s)
                     if tuple(outcome.matches) != reference[tag]:
                         raise AssertionError(
                             f"session {index} answered {tag!r} differently")
@@ -464,12 +486,17 @@ def _concurrent_lookups(client, ring, port: int, sessions: int,
                    if not isinstance(error, threading.BrokenBarrierError)]
         raise (primary or errors)[0]
     lookups = sessions * len(tags)
-    return {
+    row = {
         "sessions": sessions,
         "lookups": lookups,
         "elapsed_s": round(elapsed, 4),
         "lookups_per_s": round(lookups / elapsed, 3),
     }
+    # Per-lookup latency distribution across every session: under
+    # concurrency the p99 column is where queueing (threaded) vs
+    # coalescing (async) actually shows up.
+    row.update(_percentiles(latencies))
+    return row
 
 
 def run_concurrency_benchmarks(quick: bool = False,
@@ -710,6 +737,169 @@ def run_update_benchmarks(quick: bool = False) -> Dict[str, Any]:
                                                subtree_sizes),
         "evaluate_many": bench_update_evaluate_many(server_tree),
     }
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerance benchmark (BENCH_5): availability and latency under faults
+# ---------------------------------------------------------------------------
+
+def _fault_plans(rate: float, seed: int):
+    """Deterministic (channel, store) fault plans for one sweep point.
+
+    The headline ``rate`` is split across the four injected failure
+    classes — connection reset (before and after send), truncated
+    response frame, in-band busy shedding — on the channel side, plus
+    transient store failures on the server side, so every recovery path
+    of the resilient stack is exercised in one sweep.
+    """
+    from .net import FaultPlan, FaultRule
+
+    if rate <= 0.0:
+        return FaultPlan(seed=seed), FaultPlan(seed=seed + 1)
+    per_kind = rate / 4.0
+    channel_plan = FaultPlan([
+        FaultRule("*:send", "reset-before-send", rate=per_kind),
+        FaultRule("*:send", "busy", rate=per_kind),
+        FaultRule("*:recv", "reset-after-send", rate=per_kind),
+        FaultRule("*:recv", "truncate-response", rate=per_kind),
+    ], seed=seed)
+    store_plan = FaultPlan([
+        FaultRule("store:evaluate_many", "store-error", rate=per_kind),
+    ], seed=seed + 1)
+    return channel_plan, store_plan
+
+
+def run_fault_benchmarks(quick: bool = False,
+                         rates: Optional[List[float]] = None,
+                         seed: int = 0) -> Dict[str, Any]:
+    """BENCH_5: lookup availability and latency percentiles vs fault rate.
+
+    The figure-1 workload runs over a real TCP session against the
+    threaded server while a seeded fault plan resets connections,
+    truncates response frames, sheds requests and fails store passes at
+    the swept rate.  The client is the resilient stack with its real
+    (bounded, jittered) backoff, so the latency columns price recovery
+    honestly; every completed lookup is asserted bit-identical to the
+    fault-free reference, and availability counts the lookups that
+    completed within the retry policy's attempts/deadline bounds.
+    """
+    from .core import VerificationMode, outsource_document
+    from .errors import ReproError
+    from .net import (
+        FaultyChannel,
+        FaultyStore,
+        InMemoryShareStore,
+        SearchServer,
+        SocketChannel,
+        ThreadedSearchServer,
+        connect_resilient,
+    )
+    from .net.retry import RetryPolicy
+    from .workloads import figure1_document
+
+    if rates is None:
+        rates = [0.0, 0.05] if quick else [0.0, 0.02, 0.05, 0.10]
+    repeats = 4 if quick else 12
+    tags = ["client", "name", "customers"]
+    document = figure1_document(clients=6)
+    client, server_tree, _ = outsource_document(document, seed=b"bench-5")
+    reference = {
+        tag: tuple(client.lookup(server_tree, tag,
+                                 verification=VerificationMode.NONE).matches)
+        for tag in tags}
+
+    rows: Dict[str, Any] = {}
+    for rate in rates:
+        channel_plan, store_plan = _fault_plans(rate, seed)
+        store = FaultyStore(InMemoryShareStore(server_tree), store_plan)
+        server = ThreadedSearchServer(SearchServer(store)).start()
+        try:
+            host, port = server.address
+
+            def factory(host=host, port=port, plan=channel_plan):
+                return FaultyChannel(SocketChannel(host, port), plan)
+
+            def fresh_session():
+                policy = RetryPolicy(max_attempts=10, deadline_s=30.0,
+                                     base_backoff_s=0.002,
+                                     max_backoff_s=0.05, seed=seed)
+                return connect_resilient(factory, server_tree.ring,
+                                         policy=policy)
+
+            adapter, channel = fresh_session()
+            latencies: List[float] = []
+            completed = failed = 0
+            physical = {"retries": 0, "reconnects": 0, "busy_waits": 0}
+
+            def absorb(resilient) -> None:
+                physical["retries"] += resilient.retries
+                physical["reconnects"] += resilient.reconnects
+                physical["busy_waits"] += resilient.busy_waits
+
+            for _ in range(repeats):
+                for tag in tags:
+                    lookup_start = time.perf_counter()
+                    try:
+                        outcome = client.lookup(
+                            adapter, tag,
+                            verification=VerificationMode.NONE)
+                    except ReproError:
+                        # Retry-exhausted mid-descent: the lookup is lost.
+                        # Count it against availability and open a fresh
+                        # session for the next one.
+                        failed += 1
+                        absorb(channel)
+                        channel.close()
+                        adapter, channel = fresh_session()
+                        continue
+                    latencies.append(time.perf_counter() - lookup_start)
+                    assert tuple(outcome.matches) == reference[tag], tag
+                    completed += 1
+            absorb(channel)
+            channel.close()
+        finally:
+            server.stop()
+        row: Dict[str, Any] = {
+            "lookups": completed + failed,
+            "completed": completed,
+            "availability": round(completed / (completed + failed), 4),
+            "faults_injected": len(channel_plan.fires) + len(store_plan.fires),
+            "identical_to_reference": True,  # asserted per completed lookup
+        }
+        row.update(physical)
+        if latencies:
+            row.update(_percentiles(latencies))
+        rows[f"{rate:.2f}"] = row
+    assert rows[f"{rates[0]:.2f}"]["availability"] == 1.0 or rates[0] > 0.0
+    return {
+        "snapshot": FAULTS_SNAPSHOT_NAME,
+        "description": "fault-tolerant serving: lookup availability and "
+                       "latency percentiles vs injected fault rate "
+                       "(connection resets, truncated frames, busy "
+                       "shedding, store failures) over the resilient "
+                       "retry/reconnect/replay client",
+        "config": {"quick": quick, "rates": [f"{rate:.2f}" for rate in rates],
+                   "repeats": repeats, "tags": tags, "seed": seed,
+                   "document_elements": document.size()},
+        "faults": rows,
+    }
+
+
+def format_fault_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_5 snapshot."""
+    lines = [f"snapshot {results['snapshot']} "
+             f"({results['config']['document_elements']} elements, "
+             f"{results['config']['repeats']}x{len(results['config']['tags'])} "
+             "lookups per rate)"]
+    for rate, row in sorted(results["faults"].items()):
+        lines.append(
+            f"  fault rate {rate}: availability {row['availability']:.2%}  "
+            f"p50 {row.get('p50_ms', float('nan')):7.2f} ms  "
+            f"p95 {row.get('p95_ms', float('nan')):7.2f} ms  "
+            f"p99 {row.get('p99_ms', float('nan')):7.2f} ms  "
+            f"({row['faults_injected']} faults, {row['retries']} retries, "
+            f"{row['reconnects']} reconnects)")
+    return "\n".join(lines)
 
 
 def format_update_summary(results: Dict[str, Any]) -> str:

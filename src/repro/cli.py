@@ -148,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(crash-safe batches on the durable store, "
                             "insert/delete latency scaling, binary-page vs "
                             "JSON-row file size) instead of the kernel suite")
+    bench.add_argument("--faults", action="store_true",
+                       help="run the BENCH_5 fault-tolerance benchmark "
+                            "(lookup availability and latency percentiles "
+                            "under injected connection resets, truncated "
+                            "frames, busy shedding and store failures) "
+                            "instead of the kernel suite")
+    bench.add_argument("--fault-seed", type=int, default=0, metavar="SEED",
+                       help="seed of the BENCH_5 fault plans (default: 0)")
     return parser
 
 
@@ -301,11 +309,13 @@ def _cmd_migrate_store(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         format_concurrency_summary,
+        format_fault_summary,
         format_serving_summary,
         format_summary,
         format_update_summary,
         run_benchmarks,
         run_concurrency_benchmarks,
+        run_fault_benchmarks,
         run_serving_benchmarks,
         run_update_benchmarks,
         write_snapshot,
@@ -314,12 +324,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     selected = [flag for flag, on in
                 (("--serving", args.serving),
                  ("--concurrency", args.concurrency is not None),
-                 ("--updates", args.updates)) if on]
+                 ("--updates", args.updates),
+                 ("--faults", args.faults)) if on]
     if len(selected) > 1:
         print(f"error: {' and '.join(selected)} select different benchmark "
               "suites; pass one of them", file=sys.stderr)
         return 2
-    if args.updates:
+    if args.faults:
+        results = run_fault_benchmarks(quick=args.quick, seed=args.fault_seed)
+        out = args.out or "BENCH_5.json"
+        write_snapshot(results, out)
+        print(format_fault_summary(results))
+    elif args.updates:
         results = run_update_benchmarks(quick=args.quick)
         out = args.out or "BENCH_4.json"
         write_snapshot(results, out)

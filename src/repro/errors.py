@@ -21,6 +21,10 @@ __all__ = [
     "SharingError",
     "ThresholdError",
     "ProtocolError",
+    "TransportError",
+    "TransientServerError",
+    "ServerBusyError",
+    "RetryExhaustedError",
     "QueryError",
     "XmlParseError",
     "XPathSyntaxError",
@@ -73,6 +77,47 @@ class ThresholdError(SharingError):
 
 class ProtocolError(ReproError):
     """Client/server protocol violations (unexpected or malformed messages)."""
+
+
+class TransportError(ProtocolError):
+    """The connection itself failed (reset, truncated frame, refused).
+
+    Unlike a plain :class:`ProtocolError` — which means one side violated
+    the protocol and retrying would repeat the violation — a transport
+    error says nothing about the request, so a resilient client may
+    reconnect and replay it.  The failure is *ambiguous*: the server may
+    or may not have processed the request before the connection died,
+    which is why replayed v2 requests carry idempotency keys.
+    """
+
+
+class TransientServerError(ProtocolError):
+    """The server failed to answer but expects to succeed on a retry.
+
+    Carried over the wire as an :class:`~repro.net.messages.ErrorResponse`
+    with the ``retryable`` flag, e.g. for a momentary store backend
+    failure.  The session itself is healthy; a resilient client retries
+    the same request without reconnecting.
+    """
+
+
+class ServerBusyError(TransientServerError):
+    """The server shed this request under load (graceful degradation).
+
+    Carried over the wire as a :class:`~repro.net.messages.BusyResponse`;
+    ``retry_after_s`` is the server's backoff hint.  Overloaded servers
+    answer in-band instead of dropping connections, so sessions (and
+    their negotiated protocol state) survive load spikes.
+    """
+
+    def __init__(self, message: str = "the server is busy",
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class RetryExhaustedError(ProtocolError):
+    """A resilient client gave up: deadline, attempt cap or budget spent."""
 
 
 class QueryError(ReproError):

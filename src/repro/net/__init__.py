@@ -1,8 +1,10 @@
 """Instrumented client/server transport: protocol messages (v1 + batched
 v2), byte-counting channels (in-process and real sockets), length-prefixed
-framing, the transport-agnostic serving core with multi-document tenancy
-and pluggable share-store backends, the sync/threaded and asyncio socket
-servers, and the client-side proxies."""
+framing, the transport-agnostic serving core with multi-document tenancy,
+admission control and idempotent replay, pluggable share-store backends,
+the sync/threaded and asyncio socket servers, the client-side proxies,
+and the fault-tolerance layer (deterministic fault injection plus the
+retrying, reconnecting resilient client)."""
 
 from .aio import (
     AsyncSearchServer,
@@ -18,6 +20,14 @@ from .engine import (
     HostedDocument,
     ServingCore,
 )
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    FaultyChannel,
+    FaultyStore,
+    flaky_handler,
+)
 from .framing import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
@@ -28,8 +38,17 @@ from .framing import (
 from .messages import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
+    BusyResponse,
+    ErrorResponse,
     Message,
     decode_message,
+)
+from .retry import (
+    ResilientChannel,
+    ResilientServerInterface,
+    RetryPolicy,
+    connect_resilient,
+    connect_resilient_socket,
 )
 from .server import SearchServer, ServerObservations, ThreadedSearchServer
 from .storage import (
@@ -56,7 +75,20 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SUPPORTED_PROTOCOL_VERSIONS",
     "Message",
+    "BusyResponse",
+    "ErrorResponse",
     "decode_message",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultyChannel",
+    "FaultyStore",
+    "flaky_handler",
+    "RetryPolicy",
+    "ResilientChannel",
+    "ResilientServerInterface",
+    "connect_resilient",
+    "connect_resilient_socket",
     "ChannelStats",
     "LatencyModel",
     "InstrumentedChannel",

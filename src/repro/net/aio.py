@@ -45,7 +45,12 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from collections import deque
 
 from ..core.query import FrontierResult
-from ..errors import ProtocolError, ReproError
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    TransientServerError,
+)
 from .channel import ChannelStats
 from .engine import ServingCore
 from .framing import (
@@ -56,6 +61,7 @@ from .framing import (
 )
 from .messages import (
     SUPPORTED_PROTOCOL_VERSIONS,
+    BusyResponse,
     ErrorResponse,
     FrontierRequest,
     FrontierResponse,
@@ -77,6 +83,19 @@ __all__ = [
 ]
 
 
+def _raise_in_band_failure(response: Message) -> None:
+    """Re-raise the server's in-band failure replies as their exceptions."""
+    if isinstance(response, BusyResponse):
+        raise ServerBusyError(
+            f"the server shed the request (retry after "
+            f"{response.retry_after_s}s)",
+            retry_after_s=response.retry_after_s)
+    if isinstance(response, ErrorResponse):
+        if response.retryable:
+            raise TransientServerError(response.error)
+        raise ProtocolError(response.error)
+
+
 class AsyncSearchServer:
     """Asyncio TCP server multiplexing framed sessions over one event loop.
 
@@ -89,11 +108,32 @@ class AsyncSearchServer:
 
     def __init__(self, core: Union[ServingCore, object],
                  host: str = "127.0.0.1", port: int = 0,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 queue_limit: int = 0,
+                 busy_retry_after_s: float = 0.05,
+                 session_timeout_s: Optional[float] = 300.0,
+                 drain_timeout_s: float = 10.0) -> None:
         self.core = core if isinstance(core, ServingCore) else SearchServer(core)
         self.host = host
         self.requested_port = port
         self.max_frame_bytes = max_frame_bytes
+        #: Coalescer queue bound; ``0`` means unbounded.  When the queue
+        #: is full a frontier request is shed with an in-band
+        #: :class:`~repro.net.messages.BusyResponse` carrying
+        #: ``busy_retry_after_s`` — graceful degradation, not a dropped
+        #: connection.
+        self.queue_limit = int(queue_limit)
+        self.busy_retry_after_s = float(busy_retry_after_s)
+        #: Per-session read/write inactivity bound; ``None`` disables it.
+        #: A session that neither sends a parseable frame nor accepts a
+        #: response within the bound is dropped, so one stuck peer cannot
+        #: pin session resources forever.
+        self.session_timeout_s = session_timeout_s
+        #: How long :meth:`stop` waits for in-flight requests to finish
+        #: before cancelling what remains.
+        self.drain_timeout_s = float(drain_timeout_s)
+        #: Requests shed with a busy reply (observability for tests/CLI).
+        self.shed_requests = 0
         #: Per-session byte/round-trip accounting, in accept order.  Bounded
         #: so a long-lived daemon does not accumulate one entry per
         #: connection ever made; the newest sessions win.
@@ -108,6 +148,8 @@ class AsyncSearchServer:
         self._queue: Optional[asyncio.Queue] = None
         self._coalescer_task: Optional[asyncio.Task] = None
         self._sessions: set = set()
+        #: Outstanding per-request handler tasks (for graceful draining).
+        self._inflight: set = set()
 
     # -- lifecycle -------------------------------------------------------------------
     @property
@@ -119,7 +161,7 @@ class AsyncSearchServer:
 
     async def start(self) -> "AsyncSearchServer":
         """Bind the listener and start the coalescer (returns self)."""
-        self._queue = asyncio.Queue()
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._coalescer_task = asyncio.create_task(self._coalesce_forever())
         self._server = await asyncio.start_server(
             self._handle_session, self.host, self.requested_port)
@@ -134,11 +176,21 @@ class AsyncSearchServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting sessions and cancel in-flight work."""
+        """Graceful shutdown: stop accepting, drain in-flight rounds, close.
+
+        The listener closes first (no new sessions), then in-flight
+        request handling gets up to ``drain_timeout_s`` to produce its
+        responses — a round that already cost a store pass is answered,
+        not thrown away — and only then are the remaining session tasks
+        cancelled and the coalescer stopped.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._inflight and self.drain_timeout_s > 0:
+            await asyncio.wait(list(self._inflight),
+                               timeout=self.drain_timeout_s)
         for task in list(self._sessions):
             task.cancel()
         if self._sessions:
@@ -151,10 +203,20 @@ class AsyncSearchServer:
 
     # -- the coalescer ---------------------------------------------------------------
     async def _submit_frontier(self, message: FrontierRequest) -> Message:
-        """Queue a frontier request for the next coalesced pass."""
+        """Queue a frontier request for the next coalesced pass.
+
+        With a bounded queue, a full coalescer backlog sheds the request
+        via an in-band busy reply instead of queueing unboundedly: the
+        client's session (and its negotiated state) survives, and the
+        carried retry-after hint paces its retry.
+        """
         assert self._queue is not None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((message, future))
+        try:
+            self._queue.put_nowait((message, future))
+        except asyncio.QueueFull:
+            self.shed_requests += 1
+            return BusyResponse(retry_after_s=self.busy_retry_after_s)
         return await future
 
     async def _coalesce_forever(self) -> None:
@@ -219,7 +281,13 @@ class AsyncSearchServer:
             self._write_responses(writer, pending, stats))
         try:
             while True:
-                chunk = await reader.read(65536)
+                read = reader.read(65536)
+                if self.session_timeout_s is not None:
+                    read = asyncio.wait_for(read, self.session_timeout_s)
+                try:
+                    chunk = await read
+                except asyncio.TimeoutError:
+                    break     # idle/stuck session: reclaim its resources
                 if not chunk:
                     break
                 try:
@@ -234,8 +302,10 @@ class AsyncSearchServer:
                     stats.requests += 1
                     # Pipelining: keep reading while this request is
                     # handled; the writer preserves request order.
-                    await pending.put(asyncio.ensure_future(
-                        self._answer(payload)))
+                    answer = asyncio.ensure_future(self._answer(payload))
+                    self._inflight.add(answer)
+                    answer.add_done_callback(self._inflight.discard)
+                    await pending.put(answer)
         except (asyncio.CancelledError, ConnectionError):
             pass
         finally:
@@ -277,6 +347,10 @@ class AsyncSearchServer:
             return await loop.run_in_executor(None, self.core.handle, message)
         except asyncio.CancelledError:
             raise
+        except ReproError as exc:
+            # Preserves the failure class in-band: busy shedding becomes
+            # a BusyResponse, transient store failures a retryable error.
+            return ServingCore.error_response(exc)
         except Exception as exc:  # noqa: BLE001 - answered in-band
             return ErrorResponse(str(exc))
 
@@ -298,7 +372,15 @@ class AsyncSearchServer:
                     f"response exceeds the frame limit: {exc}")
                 frame = encode_frame(response.encode(), self.max_frame_bytes)
             writer.write(frame)
-            await writer.drain()
+            drain = writer.drain()
+            if self.session_timeout_s is not None:
+                drain = asyncio.wait_for(drain, self.session_timeout_s)
+            try:
+                await drain
+            except asyncio.TimeoutError:
+                # The peer stopped reading: drop the session rather than
+                # buffer responses for it indefinitely.
+                return
             stats.bytes_to_client += len(frame) - FRAME_HEADER_BYTES
             stats.responses += 1
 
@@ -425,8 +507,7 @@ class AsyncServerInterface:
     async def _request(self, message: Message, expected: type) -> Message:
         response = await self._send(message)
         await self._drain()
-        if isinstance(response, ErrorResponse):
-            raise ProtocolError(response.error)
+        _raise_in_band_failure(response)
         if not isinstance(response, expected):
             raise ProtocolError(f"unexpected response {response.kind!r}")
         return response
@@ -562,8 +643,7 @@ class AsyncServerInterface:
                                      lookahead=lookahead)
         await self._drain()
         response = await future
-        if isinstance(response, ErrorResponse):
-            raise ProtocolError(response.error)
+        _raise_in_band_failure(response)
         if not isinstance(response, FrontierResponse):
             raise ProtocolError(f"unexpected response {response.kind!r}")
         return FrontierResult(response.evaluations, response.children,
@@ -649,12 +729,19 @@ class AsyncServerHandle:
 
 def start_async_server(core: Union[ServingCore, object],
                        host: str = "127.0.0.1", port: int = 0,
-                       max_frame_bytes: int = MAX_FRAME_BYTES
-                       ) -> AsyncServerHandle:
+                       max_frame_bytes: int = MAX_FRAME_BYTES,
+                       queue_limit: int = 0,
+                       busy_retry_after_s: float = 0.05,
+                       session_timeout_s: Optional[float] = 300.0,
+                       drain_timeout_s: float = 10.0) -> AsyncServerHandle:
     """Run an :class:`AsyncSearchServer` on a fresh background event loop."""
     loop = asyncio.new_event_loop()
     server = AsyncSearchServer(core, host=host, port=port,
-                               max_frame_bytes=max_frame_bytes)
+                               max_frame_bytes=max_frame_bytes,
+                               queue_limit=queue_limit,
+                               busy_retry_after_s=busy_retry_after_s,
+                               session_timeout_s=session_timeout_s,
+                               drain_timeout_s=drain_timeout_s)
     started = threading.Event()
     failure: List[BaseException] = []
 

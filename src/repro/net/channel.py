@@ -29,14 +29,19 @@ import socket
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ProtocolError
+from ..errors import (
+    ProtocolError,
+    ServerBusyError,
+    TransientServerError,
+    TransportError,
+)
 from .framing import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
     decode_frame_length,
     encode_frame,
 )
-from .messages import ErrorResponse, Message, decode_message
+from .messages import BusyResponse, ErrorResponse, Message, decode_message
 
 __all__ = ["ChannelStats", "LatencyModel", "InstrumentedChannel",
            "SocketChannel"]
@@ -127,7 +132,15 @@ class InstrumentedChannel:
         self._stats_lock = threading.Lock()
 
     def request(self, message: Message) -> Message:
-        """Send ``message`` to the server and return the decoded response."""
+        """Send ``message`` to the server and return the decoded response.
+
+        Handler exceptions propagate directly (there is no wire for them
+        to be reported in-band on), but a handler that *answers* with an
+        in-band failure reply — a busy shed or an error frame, as the
+        socket servers do — gets the same mapping as
+        :meth:`SocketChannel.request`, so resilient clients behave
+        identically over both transports.
+        """
         encoded = message.encode()
         with self._stats_lock:
             self.stats.bytes_to_server += len(encoded)
@@ -141,7 +154,15 @@ class InstrumentedChannel:
             self.stats.bytes_to_client += len(encoded_response)
             self.stats.responses += 1
             self.transcript.append((server_view.kind, response.kind))
-        return decode_message(encoded_response)
+        decoded = decode_message(encoded_response)
+        if isinstance(decoded, BusyResponse):
+            raise ServerBusyError(
+                f"the server shed the {message.kind!r} request "
+                f"(retry after {decoded.retry_after_s}s)",
+                retry_after_s=decoded.retry_after_s)
+        if isinstance(decoded, ErrorResponse) and decoded.retryable:
+            raise TransientServerError(decoded.error)
+        return decoded
 
     def simulated_seconds(self) -> float:
         """Simulated time of the recorded traffic (0.0 without a latency model)."""
@@ -180,28 +201,56 @@ class SocketChannel:
         self.max_frame_bytes = max_frame_bytes
         #: Sequence of (request_kind, response_kind) pairs (this session's view).
         self.transcript: List[Tuple[str, str]] = []
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout_s)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            # The connected socket must not leak even when option setup
+            # fails (e.g. the peer already reset the connection).
+            self.close()
+            raise
         self._lock = threading.Lock()
 
     def _recv_exactly(self, count: int) -> bytes:
         chunks = []
         remaining = count
         while remaining:
-            chunk = self._sock.recv(remaining)
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError as exc:
+                raise TransportError(
+                    f"connection failed mid-frame: {exc}") from exc
             if not chunk:
-                raise ProtocolError(
+                raise TransportError(
                     "the server closed the connection mid-frame")
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
 
     def request(self, message: Message) -> Message:
-        """Send one framed request and return the decoded framed response."""
+        """Send one framed request and return the decoded framed response.
+
+        Transport failures (reset connections, truncated frames) raise
+        :class:`~repro.errors.TransportError`; in-band server failures
+        re-raise as :class:`~repro.errors.ProtocolError` (with the
+        ``retryable`` flag mapped to
+        :class:`~repro.errors.TransientServerError`) and a shed request as
+        :class:`~repro.errors.ServerBusyError` — so a resilient caller can
+        tell "reconnect and replay" from "retry in place" from "give up".
+        """
         encoded = message.encode()
         frame = encode_frame(encoded, self.max_frame_bytes)
         with self._lock:
-            self._sock.sendall(frame)
+            try:
+                self._sock.sendall(frame)
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot send the request frame: {exc}") from exc
             self.stats.bytes_to_server += len(encoded)
             self.stats.requests += 1
             header = self._recv_exactly(FRAME_HEADER_BYTES)
@@ -211,7 +260,14 @@ class SocketChannel:
             self.stats.responses += 1
             response = decode_message(payload)
             self.transcript.append((message.kind, response.kind))
+        if isinstance(response, BusyResponse):
+            raise ServerBusyError(
+                f"the server shed the {message.kind!r} request "
+                f"(retry after {response.retry_after_s}s)",
+                retry_after_s=response.retry_after_s)
         if isinstance(response, ErrorResponse):
+            if response.retryable:
+                raise TransientServerError(response.error)
             raise ProtocolError(response.error)
         return response
 

@@ -241,8 +241,15 @@ def connect_socket(host: str, port: int, ring,
     """
     channel = SocketChannel(host, port, latency_model=latency_model,
                             timeout_s=timeout_s)
-    adapter = RemoteServerAdapter(channel, ring, document_id=document_id,
-                                  protocol_version=protocol_version)
+    try:
+        adapter = RemoteServerAdapter(channel, ring, document_id=document_id,
+                                      protocol_version=protocol_version)
+    except BaseException:
+        # HELLO negotiation (or its first framed read) failed: the caller
+        # never sees the channel, so it must be closed here or the socket
+        # leaks.
+        channel.close()
+        raise
     return adapter, channel
 
 

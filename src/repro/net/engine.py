@@ -32,14 +32,21 @@ from __future__ import annotations
 
 import contextlib
 import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ProtocolError, ReproError
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    TransientServerError,
+)
 from .messages import (
     SUPPORTED_PROTOCOL_VERSIONS,
     Acknowledgement,
     BlobRequest,
     BlobResponse,
+    BusyResponse,
     ChildrenRequest,
     ChildrenResponse,
     ErrorResponse,
@@ -57,11 +64,13 @@ from .messages import (
     PruneNotice,
     StructureRequest,
     StructureResponse,
+    decode_message,
 )
 from .store import ShareStore, as_share_store
 
 __all__ = [
     "DEFAULT_DOCUMENT",
+    "AdmissionHook",
     "ServerObservations",
     "HostedDocument",
     "DocumentRegistry",
@@ -138,12 +147,21 @@ class HostedDocument:
                 f"nodes={self.store.node_count()}>")
 
 
+#: Per-tenant admission hook: inspect a request *before* it is served and
+#: return ``None`` to admit it, or a retry-after hint (seconds, ``0.0`` is
+#: valid) to shed it with an in-band busy reply.
+AdmissionHook = Callable[["HostedDocument", Message], Optional[float]]
+
+
 class DocumentRegistry:
     """Thread-safe name → :class:`HostedDocument` mapping."""
 
     def __init__(self) -> None:
         self._documents: Dict[str, HostedDocument] = {}
         self._lock = threading.Lock()
+        # Admission hooks keyed by document id; the ``None`` key is the
+        # registry-wide default consulted when no per-tenant hook exists.
+        self._admission: Dict[Optional[str], AdmissionHook] = {}
 
     def add(self, document_id: str, store: Any,
             encrypted_blob: Optional[bytes] = None) -> HostedDocument:
@@ -196,6 +214,37 @@ class DocumentRegistry:
             "the request names no document and the server hosts "
             f"{hosted_count} documents; address one explicitly")
 
+    def set_admission_hook(self, hook: Optional[AdmissionHook],
+                           document_id: Optional[str] = None) -> None:
+        """Install (or with ``None`` remove) an admission hook.
+
+        A hook registered under a ``document_id`` guards that tenant only;
+        registered under ``None`` it becomes the registry-wide default for
+        tenants without their own hook.  Hooks implement per-tenant
+        quotas, maintenance drains, and the like; shedding is graceful —
+        the request is answered with a
+        :class:`~repro.net.messages.BusyResponse`, the session survives.
+        """
+        with self._lock:
+            if hook is None:
+                self._admission.pop(document_id, None)
+            else:
+                self._admission[document_id] = hook
+
+    def admit(self, document: HostedDocument, message: Message) -> None:
+        """Consult the admission hooks; raises ``ServerBusyError`` to shed."""
+        with self._lock:
+            hook = self._admission.get(document.document_id,
+                                       self._admission.get(None))
+        if hook is None:
+            return
+        retry_after_s = hook(document, message)
+        if retry_after_s is not None:
+            raise ServerBusyError(
+                f"document {document.document_id!r} is not admitting "
+                f"{message.kind!r} requests right now",
+                retry_after_s=retry_after_s)
+
     def document_ids(self) -> List[str]:
         """All hosted document ids, sorted."""
         with self._lock:
@@ -237,7 +286,11 @@ class ServingCore:
     union pass equals a per-request pass).
     """
 
-    def __init__(self, registry: Optional[DocumentRegistry] = None) -> None:
+    #: Retained encoded responses per idempotency key (LRU).
+    IDEMPOTENCY_CACHE_SIZE = 4096
+
+    def __init__(self, registry: Optional[DocumentRegistry] = None,
+                 idempotency_cache_size: int = IDEMPOTENCY_CACHE_SIZE) -> None:
         self.registry = registry if registry is not None else DocumentRegistry()
         #: Aggregate honest-but-curious view across every hosted document.
         self.observations = ServerObservations()
@@ -245,17 +298,80 @@ class ServingCore:
         # per-document ledgers are written under the same lock because a
         # handler may update both in one go.
         self._observations_lock = threading.Lock()
+        # Idempotency cache: (document_id, request_id) -> encoded response.
+        # A request replayed after an ambiguous transport failure is
+        # answered from here bit-identically, without touching the store
+        # or the observation ledgers a second time.  Encoded bytes (not
+        # message objects) are retained so the replay's wire bytes equal
+        # the lost original's exactly.  Only successful responses are
+        # cached — a transient failure must be re-attempted on replay.
+        self._idempotency_cache_size = int(idempotency_cache_size)
+        self._idempotent: "OrderedDict[Tuple[Optional[str], str], bytes]" = (
+            OrderedDict())
+        self._idempotent_lock = threading.Lock()
+
+    # -- idempotency ---------------------------------------------------------------
+    def _idempotent_lookup(self, message: Message) -> Optional[Message]:
+        """The cached response to a replayed request, decoded, if any."""
+        if message.request_id is None or not self._idempotency_cache_size:
+            return None
+        key = (message.document_id, message.request_id)
+        with self._idempotent_lock:
+            encoded = self._idempotent.get(key)
+            if encoded is None:
+                return None
+            self._idempotent.move_to_end(key)
+        return decode_message(encoded)
+
+    def _idempotent_store(self, message: Message, response: Message) -> None:
+        if message.request_id is None or not self._idempotency_cache_size:
+            return
+        if isinstance(response, (ErrorResponse, BusyResponse)):
+            return
+        key = (message.document_id, message.request_id)
+        with self._idempotent_lock:
+            self._idempotent[key] = response.encode()
+            self._idempotent.move_to_end(key)
+            while len(self._idempotent) > self._idempotency_cache_size:
+                self._idempotent.popitem(last=False)
+
+    @staticmethod
+    def error_response(exc: ReproError) -> Message:
+        """The in-band reply for a failed request, preserving its class.
+
+        Busy shedding travels as a :class:`~repro.net.messages.BusyResponse`
+        with the retry-after hint, transient failures as a *retryable*
+        :class:`~repro.net.messages.ErrorResponse`, everything else as a
+        plain error — so resilient clients reconstruct the exception
+        taxonomy of :mod:`repro.errors` across the wire.
+        """
+        if isinstance(exc, ServerBusyError):
+            return BusyResponse(retry_after_s=exc.retry_after_s)
+        return ErrorResponse(str(exc),
+                             retryable=isinstance(exc, TransientServerError))
 
     # -- message dispatch ----------------------------------------------------------
     def handle(self, message: Message) -> Message:
         """Answer one request message."""
+        cached = self._idempotent_lookup(message)
+        if cached is not None:
+            return cached
         with self._observations_lock:
             self.observations.requests_handled += 1
         if isinstance(message, HelloRequest):
             return self._handle_hello(message)
         document = self.registry.resolve(message.document_id)
+        self.registry.admit(document, message)
         with self._observations_lock:
             document.observations.requests_handled += 1
+        response = self._dispatch_locked(document, message)
+        self._idempotent_store(message, response)
+        return response
+
+    __call__ = handle
+
+    def _dispatch_locked(self, document: HostedDocument,
+                         message: Message) -> Message:
         with document.lock:
             if isinstance(message, StructureRequest):
                 return self._handle_structure(document)
@@ -274,8 +390,6 @@ class ServingCore:
             if isinstance(message, BlobRequest):
                 return self._handle_blob(document)
         raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
-
-    __call__ = handle
 
     def frontier_batch(self, messages: Sequence[FrontierRequest]
                        ) -> List[Message]:
@@ -304,12 +418,19 @@ class ServingCore:
             if not isinstance(message, FrontierRequest):
                 raise ProtocolError(
                     f"frontier_batch cannot handle {message.kind!r} requests")
+            cached = self._idempotent_lookup(message)
+            if cached is not None:
+                # A replay: answer bit-identically without re-counting it
+                # anywhere or folding it into the coalesced passes.
+                responses[index] = cached
+                continue
             with self._observations_lock:
                 self.observations.requests_handled += 1
             try:
                 document = self.registry.resolve(message.document_id)
+                self.registry.admit(document, message)
             except ReproError as exc:
-                responses[index] = ErrorResponse(str(exc))
+                responses[index] = self.error_response(exc)
                 continue
             with self._observations_lock:
                 document.observations.requests_handled += 1
@@ -329,9 +450,10 @@ class ServingCore:
                                 self._frontier_batch_locked(document,
                                                             [message])[0])
                     except ReproError as exc:
-                        answered.append(ErrorResponse(str(exc)))
-            for index, response in zip(indices, answered):
+                        answered.append(self.error_response(exc))
+            for index, message, response in zip(indices, group, answered):
                 responses[index] = response
+                self._idempotent_store(message, response)
         return responses  # type: ignore[return-value]
 
     # -- observation plumbing ---------------------------------------------------------

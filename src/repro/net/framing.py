@@ -91,9 +91,32 @@ class FrameAssembler:
         self.max_frame_bytes = max_frame_bytes
         self._buffer = bytearray()
         self._expected: Optional[int] = None
+        self._poison: Optional[ProtocolError] = None
+
+    @property
+    def poisoned(self) -> bool:
+        """True once the stream has been rejected; no further bytes decode.
+
+        After an invalid length prefix there is no way to find the next
+        frame boundary in the byte stream, so instead of silently
+        misparsing whatever follows, the assembler stays poisoned: every
+        later :meth:`feed` re-raises the original rejection.  The owner
+        of the stream must drop the connection (which every transport
+        does).
+        """
+        return self._poison is not None
 
     def feed(self, data: bytes) -> List[bytes]:
-        """Consume a chunk of stream bytes; return any completed payloads."""
+        """Consume a chunk of stream bytes; return any completed payloads.
+
+        Raises :class:`~repro.errors.ProtocolError` — naming the
+        offending announced length and the limit — on an invalid length
+        prefix, and poisons the assembler (see :attr:`poisoned`).  Short
+        reads are not errors: a frame split across arbitrarily many feeds
+        assembles normally once its bytes are complete.
+        """
+        if self._poison is not None:
+            raise self._poison
         self._buffer.extend(data)
         frames: List[bytes] = []
         while True:
@@ -101,9 +124,14 @@ class FrameAssembler:
                 if len(self._buffer) < FRAME_HEADER_BYTES:
                     break
                 header = bytes(self._buffer[:FRAME_HEADER_BYTES])
+                try:
+                    expected = decode_frame_length(header,
+                                                   self.max_frame_bytes)
+                except ProtocolError as exc:
+                    self._poison = exc
+                    raise
                 del self._buffer[:FRAME_HEADER_BYTES]
-                self._expected = decode_frame_length(header,
-                                                     self.max_frame_bytes)
+                self._expected = expected
             if len(self._buffer) < self._expected:
                 break
             frames.append(bytes(self._buffer[:self._expected]))

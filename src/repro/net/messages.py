@@ -20,7 +20,18 @@ Two protocol generations coexist:
 
 Every message additionally carries an optional ``document_id`` so one
 server can host many outsourced documents; omitting it (the v1 encoding)
-addresses the server's default document.
+addresses the server's default document.  Messages may also carry an
+optional ``request_id`` — an idempotency key stamped by resilient clients
+so that a request replayed after an ambiguous transport failure is
+answered bit-identically from the server's idempotency cache instead of
+being processed (and observed) twice.  Both fields are omitted from the
+encoding when unset, so historical byte counts are unchanged.
+
+Two in-band failure responses exist: :class:`ErrorResponse` (a request
+failed; ``retryable`` marks transient backend failures) and
+:class:`BusyResponse` (the server shed the request under load and names a
+``retry_after_s`` backoff hint — graceful degradation instead of a
+dropped connection).
 
 The wire format is a compact JSON document; it is *not* meant to be an
 optimised binary protocol, only a consistent yardstick so that the
@@ -55,6 +66,7 @@ __all__ = [
     "PruneNotice",
     "Acknowledgement",
     "ErrorResponse",
+    "BusyResponse",
     "BlobRequest",
     "BlobResponse",
     "decode_message",
@@ -81,6 +93,10 @@ class Message:
     #: server's default document (and keeps the v1 wire encoding intact).
     document_id: Optional[str] = None
 
+    #: Optional idempotency key (see the module docstring); ``None`` keeps
+    #: the historical wire encoding byte-identical.
+    request_id: Optional[str] = None
+
     def payload(self) -> Dict[str, Any]:
         """The JSON-serialisable body of the message."""
         return {}
@@ -90,11 +106,18 @@ class Message:
         self.document_id = document_id
         return self
 
+    def with_request_id(self, request_id: Optional[str]) -> "Message":
+        """Stamp the message with an idempotency key (returns self)."""
+        self.request_id = request_id
+        return self
+
     def encode(self) -> bytes:
         """Deterministic wire encoding."""
         body = {"kind": self.kind}
         if self.document_id is not None:
             body["document_id"] = self.document_id
+        if self.request_id is not None:
+            body["request_id"] = self.request_id
         body.update(self.payload())
         return json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
 
@@ -439,15 +462,46 @@ class ErrorResponse(Message):
 
     kind = "error"
 
-    def __init__(self, error: str) -> None:
+    def __init__(self, error: str, retryable: bool = False) -> None:
         self.error = str(error)
+        #: True for transient server-side failures (e.g. a store backend
+        #: hiccup) that a resilient client should retry on the same
+        #: session; absent from the encoding when False (v2-compatible).
+        self.retryable = bool(retryable)
 
     def payload(self) -> Dict[str, Any]:
-        return {"error": self.error}
+        body: Dict[str, Any] = {"error": self.error}
+        if self.retryable:
+            body["retryable"] = True
+        return body
 
     @classmethod
     def from_payload(cls, body: Dict[str, Any]) -> "ErrorResponse":
-        return cls(body["error"])
+        return cls(body["error"], body.get("retryable", False))
+
+
+class BusyResponse(Message):
+    """The server shed this request under load; retry after the hint.
+
+    Sent instead of queueing unboundedly (the asyncio coalescer's bounded
+    queue) or instead of admitting a request over a tenant's quota
+    (:meth:`~repro.net.engine.DocumentRegistry.admit`).  The session stays
+    open — degradation is graceful, not a connection reset.  Clients
+    surface it as :class:`~repro.errors.ServerBusyError`; resilient
+    clients back off by ``retry_after_s`` and retry.
+    """
+
+    kind = "busy"
+
+    def __init__(self, retry_after_s: float = 0.0) -> None:
+        self.retry_after_s = float(retry_after_s)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"retry_after_s": self.retry_after_s}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "BusyResponse":
+        return cls(body.get("retry_after_s", 0.0))
 
 
 class BlobRequest(Message):
@@ -478,7 +532,8 @@ _MESSAGE_TYPES = {
         ChildrenRequest, ChildrenResponse, EvaluateRequest, EvaluateResponse,
         FrontierRequest, FrontierResponse, FetchPolynomialsRequest,
         FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
-        PruneNotice, Acknowledgement, ErrorResponse, BlobRequest, BlobResponse,
+        PruneNotice, Acknowledgement, ErrorResponse, BusyResponse,
+        BlobRequest, BlobResponse,
     )
 }
 
@@ -494,10 +549,13 @@ def decode_message(data: bytes) -> Message:
     if cls is None:
         raise ProtocolError(f"unknown message kind {kind!r}")
     document_id = body.pop("document_id", None)
+    request_id = body.pop("request_id", None)
     try:
         message = cls.from_payload(body)
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed {kind!r} message: {exc}") from exc
     if document_id is not None:
         message.document_id = str(document_id)
+    if request_id is not None:
+        message.request_id = str(request_id)
     return message

@@ -29,7 +29,7 @@ import threading
 from typing import Optional, Union
 
 from ..core.share_tree import ServerShareTree
-from ..errors import ProtocolError
+from ..errors import ProtocolError, ReproError
 from .engine import (
     DEFAULT_DOCUMENT,
     DocumentRegistry,
@@ -111,10 +111,17 @@ class _FrameSessionHandler(socketserver.BaseRequestHandler):
             except ProtocolError:
                 break  # unframeable stream: drop the session
             for payload in payloads:
+                server._request_started()
                 try:
                     response = server.core.handle(decode_message(payload))
+                except ReproError as exc:
+                    # Busy shedding and transient failures keep their
+                    # class on the wire (BusyResponse / retryable error).
+                    response = ServingCore.error_response(exc)
                 except Exception as exc:  # noqa: BLE001 - answered in-band
                     response = ErrorResponse(str(exc))
+                finally:
+                    server._request_finished()
                 try:
                     frame = encode_frame(response.encode(),
                                          server.max_frame_bytes)
@@ -146,12 +153,28 @@ class ThreadedSearchServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, core: ServingCore, host: str = "127.0.0.1",
                  port: int = 0, max_frame_bytes: int = MAX_FRAME_BYTES,
-                 session_timeout_s: float = 30.0) -> None:
+                 session_timeout_s: float = 30.0,
+                 drain_timeout_s: float = 10.0) -> None:
         self.core = core
         self.max_frame_bytes = max_frame_bytes
         self.session_timeout_s = session_timeout_s
+        #: How long :meth:`stop` waits for in-flight requests to finish.
+        self.drain_timeout_s = drain_timeout_s
         super().__init__((host, port), _FrameSessionHandler)
         self._serve_thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # -- in-flight accounting (graceful shutdown) ---------------------------------
+    def _request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def _request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
 
     @property
     def address(self) -> tuple:
@@ -167,8 +190,19 @@ class ThreadedSearchServer(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self) -> None:
-        """Shut the listener down and join the background thread."""
+        """Graceful shutdown: close the listener, drain, then tear down.
+
+        ``shutdown()`` stops the accept loop first (no new sessions),
+        then in-flight request handling gets up to ``drain_timeout_s``
+        to produce its responses before the process-level teardown —
+        rounds that already cost a store pass are answered, not lost.
+        Session threads are daemonic; those still blocked on an idle
+        ``recv`` die with their clients or the process.
+        """
         self.shutdown()
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(lambda: self._inflight == 0,
+                                       timeout=self.drain_timeout_s)
         self.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)

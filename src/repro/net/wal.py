@@ -160,6 +160,10 @@ def apply_record(conn: sqlite3.Connection, record: WalRecord,
     the two can never disagree about what a record means.
     """
     if record.op == "add" or record.op == "replace":
+        if record.node_id is None or record.after is None:
+            raise ProtocolError(
+                f"WAL {record.op!r} record for node {record.node_id!r} is "
+                "missing its redo image; the log is corrupt")
         if record.op == "add":
             upsert_node(conn, record.node_id, record.parent, record.ord)
         write_node_pages(conn, record.node_id, record.after, page_bytes)
@@ -169,7 +173,30 @@ def apply_record(conn: sqlite3.Connection, record: WalRecord,
         raise ProtocolError(f"cannot replay WAL record {record.op!r}")
 
 
+def _torn(record: WalRecord) -> bool:
+    """Whether an uncommitted record is missing images its undo would need.
+
+    A torn record can only come from an intent that never finished being
+    written (a crash mid-``write_intent``, or a log truncated mid-record
+    by an external tool).  The apply loop starts strictly *after* the
+    intent transaction commits in full, so a torn record was never
+    applied — there is nothing to undo, and rollback skips it instead of
+    crashing on its missing images.  The *committed* replay path keeps no
+    such tolerance: a commit marker proves the intent was complete, so a
+    missing redo image there is real corruption and raises.
+    """
+    if record.node_id is None:
+        return True
+    if record.op == "replace":
+        return record.before is None
+    if record.op == "remove":
+        return record.before is None or record.ord is None
+    return False
+
+
 def _undo(conn: sqlite3.Connection, record: WalRecord, page_bytes: int) -> None:
+    if _torn(record):
+        return
     if record.op == "add":
         delete_node(conn, record.node_id)
     elif record.op == "replace":

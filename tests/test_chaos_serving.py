@@ -1,0 +1,566 @@
+"""Chaos tests: seeded faults at every protocol phase, bit-identical results.
+
+Extends the crash-injection discipline of ``test_crash_safety`` upward
+into the serving stack: a :class:`~repro.net.retry.ResilientServerInterface`
+runs the figure-1 lookup workload while a seeded
+:class:`~repro.net.faults.FaultPlan` resets connections, truncates
+response frames, fails store operations and sheds requests — at the
+hello, structure, frontier, verification and prune phases, over the
+in-process channel, the threaded socket server and the asyncio server —
+and every run must produce results bit-identical to the fault-free run.
+
+The idempotency tests additionally pin the *server-side* invariant: a
+request replayed after an ambiguous failure (processed, reply lost) is
+answered from the idempotency cache, so the observation ledgers count it
+exactly once.
+
+Every plan and retry schedule is seeded; ``REPRO_CHAOS_SEED`` (used by
+the CI chaos matrix) shifts the seeds without losing reproducibility.
+"""
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.core import VerificationMode, outsource_document
+from repro.core.advanced import AdvancedQueryExecutor
+from repro.errors import (
+    ProtocolError,
+    RetryExhaustedError,
+    ServerBusyError,
+    TransportError,
+)
+from repro.net import (
+    FaultPlan,
+    FaultRule,
+    FaultyChannel,
+    FaultyStore,
+    InMemoryShareStore,
+    InstrumentedChannel,
+    RemoteServerAdapter,
+    SearchServer,
+    SocketChannel,
+    ThreadedSearchServer,
+    connect,
+    connect_resilient,
+    connect_resilient_socket,
+    connect_socket,
+    flaky_handler,
+    start_async_server,
+)
+from repro.net.messages import FrontierRequest
+from repro.net.retry import RetryPolicy
+from repro.workloads import figure1_document
+
+#: CI runs the suite under three fixed seeds; locally it defaults to 0.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+QUERIES = ["//client", "//name", "//client/name", "/customers/client/name"]
+
+
+@pytest.fixture(scope="module")
+def outsourced():
+    document = figure1_document(clients=6)
+    client, tree, _ = outsource_document(document, seed=b"chaos-tests")
+    return client, tree
+
+
+@pytest.fixture(scope="module")
+def reference(outsourced):
+    """Fault-free lookup results (the bit-identity yardstick)."""
+    client, tree = outsourced
+    adapter, _ = connect(SearchServer(tree))
+    return run_queries(client, adapter)
+
+
+def run_queries(client, adapter):
+    return [AdvancedQueryExecutor(client.engine(adapter)).execute(query).matches
+            for query in QUERIES]
+
+
+def run_verified_lookup(client, adapter):
+    """One lookup under FULL verification (exercises the fetch phase)."""
+    engine = client.engine(adapter, verification=VerificationMode.FULL)
+    return AdvancedQueryExecutor(engine).execute("//client/name").matches
+
+
+def fast_policy(**overrides):
+    """A retry policy that never really sleeps (chaos runs stay quick)."""
+    settings = dict(max_attempts=8, deadline_s=None, base_backoff_s=0.0,
+                    max_backoff_s=0.0, jitter=0.0, seed=CHAOS_SEED,
+                    sleep=lambda _s: None)
+    settings.update(overrides)
+    return RetryPolicy(**settings)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_fires(self):
+        points = (["frontier:send"] * 20 + ["frontier:recv"] * 20) * 3
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan.at_rate(0.3, kinds=["reset-after-send"],
+                                     seed=CHAOS_SEED + 17)
+            for point in points:
+                plan.decide(point)
+            runs.append(list(plan.fires))
+        assert runs[0] == runs[1]
+        assert runs[0]  # 30% over 120 consultations must fire sometimes
+
+    def test_reset_replays_exactly(self):
+        plan = FaultPlan.at_rate(0.5, kinds=["truncate-response"],
+                                 seed=CHAOS_SEED)
+        for _ in range(50):
+            plan.decide("frontier:recv")
+        first = list(plan.fires)
+        plan.reset()
+        for _ in range(50):
+            plan.decide("frontier:recv")
+        assert plan.fires == first
+
+    def test_explicit_calls_fire_once(self):
+        plan = FaultPlan.single("frontier:recv", "reset-after-send", call=3)
+        fired = [plan.decide("frontier:recv") for _ in range(6)]
+        assert [rule is not None for rule in fired] == \
+            [False, False, True, False, False, False]
+
+    def test_pattern_points_and_kind_validation(self):
+        plan = FaultPlan([FaultRule("*:send", "reset-before-send",
+                                    calls=[1])])
+        assert plan.decide("hello:send") is not None
+        assert plan.decide("frontier:recv") is None
+        with pytest.raises(ValueError):
+            FaultRule("x", "no-such-kind")
+        with pytest.raises(ValueError):
+            FaultRule("x", "delay", rate=1.5)
+
+
+#: One scheduled fault per protocol phase; each must be survived with
+#: bit-identical results.  ``call`` targets a mid-descent exchange where
+#: there is one (the frontier phase), the first call elsewhere.
+PHASE_FAULTS = [
+    ("hello:send", "reset-before-send", 1),
+    ("hello:recv", "reset-after-send", 1),
+    ("structure:recv", "reset-after-send", 1),
+    ("frontier:send", "reset-before-send", 2),
+    ("frontier:send", "busy", 3),
+    ("frontier:recv", "reset-after-send", 1),
+    ("frontier:recv", "reset-after-send", 4),
+    ("frontier:recv", "truncate-response", 2),
+]
+
+
+class TestResilientInProcess:
+    """Resilient client over the in-process channel, one fault per phase."""
+
+    @pytest.mark.parametrize("point,kind,call", PHASE_FAULTS)
+    def test_phase_fault_bit_identical(self, outsourced, reference,
+                                       point, kind, call):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan.single(point, kind, call=call, seed=CHAOS_SEED)
+        # v2 sessions learn the structure from the hello reply, so the
+        # structure exchange only exists on a v1 session.
+        version = 1 if point.startswith("structure") else None
+        adapter, channel = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, protocol_version=version, policy=fast_policy())
+        assert run_queries(client, adapter) == reference
+        assert plan.fires, "the scheduled fault never fired"
+        assert channel.retries >= 1
+
+    def test_every_phase_faulted_in_one_session(self, outsourced, reference):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan([FaultRule(point, kind, calls=[call])
+                          for point, kind, call in PHASE_FAULTS],
+                         seed=CHAOS_SEED)
+        adapter, channel = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, policy=fast_policy())
+        assert run_queries(client, adapter) == reference
+        assert len(plan.fires) >= len(PHASE_FAULTS) - 1
+        assert channel.reconnects >= 1
+
+    def test_random_fault_rate_bit_identical(self, outsourced, reference):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan.at_rate(
+            0.1, kinds=["reset-after-send", "reset-before-send"],
+            seed=CHAOS_SEED + 1)
+        adapter, _ = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, policy=fast_policy(max_attempts=20))
+        for _ in range(3):
+            assert run_queries(client, adapter) == reference
+
+    def test_verified_lookup_survives_fetch_faults(self, outsourced):
+        client, tree = outsourced
+        fault_free, _ = connect(SearchServer(tree))
+        expected = run_verified_lookup(client, fault_free)
+        server = SearchServer(tree)
+        plan = FaultPlan([
+            FaultRule("frontier:recv", "reset-after-send", calls=[2, 5]),
+            FaultRule("prune:recv", "reset-after-send", calls=[1]),
+        ], seed=CHAOS_SEED)
+        adapter, _ = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, policy=fast_policy())
+        assert run_verified_lookup(client, adapter) == expected
+
+    def test_plain_client_dies_where_resilient_survives(self, outsourced):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan.single("frontier:recv", "reset-after-send", call=1)
+        channel = FaultyChannel(InstrumentedChannel(server.handle), plan)
+        adapter = RemoteServerAdapter(channel, tree.ring)
+        with pytest.raises(TransportError):
+            run_queries(client, adapter)
+
+    def test_retry_exhaustion_is_loud(self, outsourced):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan([FaultRule("frontier:recv", "reset-after-send",
+                                    rate=1.0)], seed=CHAOS_SEED)
+        adapter, _ = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, policy=fast_policy(max_attempts=3))
+        with pytest.raises(RetryExhaustedError):
+            run_queries(client, adapter)
+
+
+class TestIdempotency:
+    """Ambiguous failures must not double-count server-side."""
+
+    def test_replay_not_double_observed(self, outsourced, reference):
+        client, tree = outsourced
+        fault_free_server = SearchServer(tree)
+        clean_adapter, _ = connect_resilient(
+            lambda: InstrumentedChannel(fault_free_server.handle),
+            tree.ring, policy=fast_policy(), request_id_prefix="clean")
+        assert run_queries(client, clean_adapter) == reference
+
+        faulty_server = SearchServer(tree)
+        plan = FaultPlan([FaultRule("frontier:recv", "reset-after-send",
+                                    calls=[1, 3, 6])], seed=CHAOS_SEED)
+        adapter, channel = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(faulty_server.handle),
+                                  plan),
+            tree.ring, policy=fast_policy(), request_id_prefix="faulty")
+        assert run_queries(client, adapter) == reference
+        assert len(plan.fires) == 3
+        # Every replayed frontier round was answered from the idempotency
+        # cache: both ledgers saw the identical workload exactly once.
+        # The only aggregate difference is the replayed HELLOs (one per
+        # reconnect) — real requests, honestly counted, no document state.
+        faulty_view = faulty_server.observations.as_dict()
+        clean_view = fault_free_server.observations.as_dict()
+        reconnects = channel.reconnects
+        assert reconnects == 3
+        assert faulty_view.pop("requests_handled") == \
+            clean_view.pop("requests_handled") + reconnects
+        assert faulty_view == clean_view
+        # The per-document ledger never sees a HELLO, so it is *exactly*
+        # equal: replays were answered without touching the document.
+        assert faulty_server.document().observations.as_dict() == \
+            fault_free_server.document().observations.as_dict()
+
+    def test_engine_replay_bit_identical(self, outsourced):
+        _, tree = outsourced
+        server = SearchServer(tree)
+        request = FrontierRequest([tree.root_id], [3], lookahead=1)
+        request.with_request_id("replay-me")
+        first = server.handle(request).encode()
+        before = server.observations.as_dict()
+        again = server.handle(request).encode()
+        assert again == first
+        assert server.observations.as_dict() == before
+
+    def test_engine_replay_through_batch(self, outsourced):
+        _, tree = outsourced
+        server = SearchServer(tree)
+        request = FrontierRequest([tree.root_id], [3])
+        request.with_request_id("batched-replay")
+        first = server.frontier_batch([request])[0].encode()
+        before = server.observations.as_dict()
+        again = server.frontier_batch([request])[0].encode()
+        assert again == first
+        assert server.observations.as_dict() == before
+
+    def test_distinct_ids_processed_separately(self, outsourced):
+        _, tree = outsourced
+        server = SearchServer(tree)
+        first = FrontierRequest([tree.root_id], [3]).with_request_id("id-1")
+        second = FrontierRequest([tree.root_id], [3]).with_request_id("id-2")
+        server.handle(first)
+        count = server.observations.as_dict()["requests_handled"]
+        server.handle(second)
+        assert server.observations.as_dict()["requests_handled"] == count + 1
+
+
+class TestStoreFaults:
+    """Transient store failures become retryable in-band errors."""
+
+    def test_in_process_store_fault(self, outsourced, reference):
+        client, tree = outsourced
+        plan = FaultPlan([FaultRule("store:evaluate_many", "store-error",
+                                    calls=[1, 3])], seed=CHAOS_SEED)
+        server = SearchServer(FaultyStore(InMemoryShareStore(tree), plan))
+        adapter, _ = connect_resilient(
+            lambda: InstrumentedChannel(server.handle),
+            tree.ring, policy=fast_policy())
+        assert run_queries(client, adapter) == reference
+        assert len(plan.fires) == 2
+
+    def test_threaded_store_fault(self, outsourced, reference):
+        client, tree = outsourced
+        plan = FaultPlan([FaultRule("store:evaluate_many", "store-error",
+                                    calls=[2])], seed=CHAOS_SEED)
+        server = ThreadedSearchServer(
+            SearchServer(FaultyStore(InMemoryShareStore(tree), plan)))
+        server.start()
+        try:
+            host, port = server.address
+            adapter, channel = connect_resilient_socket(
+                host, port, tree.ring, policy=fast_policy())
+            try:
+                assert run_queries(client, adapter) == reference
+            finally:
+                channel.close()
+        finally:
+            server.stop()
+        assert plan.fires
+
+
+class TestBusyAndAdmission:
+    """Graceful degradation: busy replies, admission hooks, bounded queue."""
+
+    def test_flaky_handler_busy_survived(self, outsourced, reference):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        plan = FaultPlan([FaultRule("serve:frontier", "busy", calls=[1, 2],
+                                    retry_after_s=0.01)], seed=CHAOS_SEED)
+        adapter, channel = connect_resilient(
+            lambda: InstrumentedChannel(flaky_handler(server.handle, plan)),
+            tree.ring, policy=fast_policy())
+        assert run_queries(client, adapter) == reference
+        assert channel.busy_waits == 2
+        assert channel.reconnects == 0  # busy never drops the session
+
+    def test_admission_hook_sheds_then_admits(self, outsourced, reference):
+        client, tree = outsourced
+        server = SearchServer(tree)
+        shed = {"remaining": 2, "seen": 0}
+
+        def hook(document, message):
+            shed["seen"] += 1
+            if shed["remaining"] > 0:
+                shed["remaining"] -= 1
+                return 0.01
+            return None
+
+        server.registry.set_admission_hook(hook, document_id="default")
+        adapter, channel = connect_resilient(
+            lambda: InstrumentedChannel(server.handle),
+            tree.ring, policy=fast_policy())
+        assert run_queries(client, adapter) == reference
+        assert shed["seen"] >= 3
+        assert channel.busy_waits == 2
+
+    def test_admission_hook_raises_for_plain_client(self, outsourced):
+        _, tree = outsourced
+        server = SearchServer(tree)
+        server.registry.set_admission_hook(lambda d, m: 0.5)
+        adapter, _ = connect(server)
+        with pytest.raises(ServerBusyError) as excinfo:
+            adapter.frontier_round([tree.root_id], [3])
+        assert excinfo.value.retry_after_s == 0.5
+        server.registry.set_admission_hook(None)
+        assert adapter.frontier_round([tree.root_id], [3]).round_trips == 1
+
+    def test_async_bounded_queue_sheds_in_band(self, outsourced, reference):
+        client, tree = outsourced
+        handle = start_async_server(SearchServer(tree), queue_limit=1,
+                                    busy_retry_after_s=0.0)
+        try:
+            # Saturate the one-slot coalescer queue from several resilient
+            # sessions at once; shed requests come back as busy frames and
+            # every session still completes bit-identically.
+            results = {}
+            errors = []
+
+            def worker(index):
+                try:
+                    adapter, channel = connect_resilient_socket(
+                        "127.0.0.1", handle.port, tree.ring,
+                        policy=fast_policy(max_attempts=50))
+                    try:
+                        results[index] = run_queries(client, adapter)
+                    finally:
+                        channel.close()
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(index,))
+                       for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not errors
+            assert all(results[index] == reference for index in range(4))
+        finally:
+            handle.stop()
+
+
+class TestResilientSockets:
+    """The same fault schedules against both real socket servers."""
+
+    SOCKET_FAULTS = [
+        ("hello:send", "reset-before-send", 1),
+        ("frontier:recv", "reset-after-send", 1),
+        ("frontier:recv", "truncate-response", 3),
+        ("frontier:send", "busy", 2),
+    ]
+
+    @pytest.mark.parametrize("point,kind,call", SOCKET_FAULTS)
+    def test_threaded_server(self, outsourced, reference, point, kind, call):
+        client, tree = outsourced
+        server = ThreadedSearchServer(SearchServer(tree))
+        server.start()
+        try:
+            host, port = server.address
+            plan = FaultPlan.single(point, kind, call=call, seed=CHAOS_SEED)
+            adapter, channel = connect_resilient(
+                lambda: FaultyChannel(SocketChannel(host, port), plan),
+                tree.ring, policy=fast_policy())
+            try:
+                assert run_queries(client, adapter) == reference
+            finally:
+                channel.close()
+            assert plan.fires
+        finally:
+            server.stop()
+
+    @pytest.mark.parametrize("point,kind,call", SOCKET_FAULTS)
+    def test_async_server(self, outsourced, reference, point, kind, call):
+        client, tree = outsourced
+        handle = start_async_server(SearchServer(tree))
+        try:
+            plan = FaultPlan.single(point, kind, call=call, seed=CHAOS_SEED)
+            adapter, channel = connect_resilient(
+                lambda: FaultyChannel(
+                    SocketChannel("127.0.0.1", handle.port), plan),
+                tree.ring, policy=fast_policy())
+            try:
+                assert run_queries(client, adapter) == reference
+            finally:
+                channel.close()
+            assert plan.fires
+        finally:
+            handle.stop()
+
+    def test_real_connection_death_mid_descent(self, outsourced, reference):
+        """Kill the actual TCP connection (not an injected exception)."""
+        client, tree = outsourced
+        handle = start_async_server(SearchServer(tree))
+        try:
+            channels = []
+
+            def factory():
+                channel = SocketChannel("127.0.0.1", handle.port)
+                channels.append(channel)
+                return channel
+
+            adapter, resilient = connect_resilient(
+                factory, tree.ring, policy=fast_policy())
+            # Sever the live socket under the client's feet; the next
+            # exchange fails at the transport and must transparently
+            # reconnect, replay HELLO and resume the descent.
+            assert adapter.frontier_round([tree.root_id], [3]).round_trips
+            channels[-1]._sock.shutdown(socket.SHUT_RDWR)
+            assert run_queries(client, adapter) == reference
+            assert resilient.reconnects >= 1
+            resilient.close()
+        finally:
+            handle.stop()
+
+
+class TestSocketLeakRegression:
+    """Satellite: failed session setup must not leak the socket."""
+
+    def test_connect_socket_closes_on_failed_hello(self, outsourced):
+        _, tree = outsourced
+        # A raw TCP listener that accepts and answers garbage, so HELLO
+        # negotiation fails after the connection is established.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        accepted = []
+
+        def acceptor():
+            conn, _ = listener.accept()
+            accepted.append(conn)
+            conn.recv(65536)
+            conn.sendall(b"\x00\x00\x00\x04junk")
+
+        thread = threading.Thread(target=acceptor, daemon=True)
+        thread.start()
+        host, port = listener.getsockname()
+        created = []
+        original_init = SocketChannel.__init__
+
+        def tracking_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            created.append(self)
+
+        SocketChannel.__init__ = tracking_init
+        try:
+            with pytest.raises(ProtocolError):
+                connect_socket(host, port, tree.ring, timeout_s=5.0)
+        finally:
+            SocketChannel.__init__ = original_init
+            listener.close()
+            for conn in accepted:
+                conn.close()
+        assert len(created) == 1
+        # The failed connect must have closed its socket: fileno() of a
+        # closed socket is -1.
+        assert created[0]._sock.fileno() == -1
+
+    def test_connection_refused_raises_transport_error(self, outsourced):
+        _, tree = outsourced
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, dead_port = probe.getsockname()
+        probe.close()
+        with pytest.raises(TransportError):
+            connect_socket("127.0.0.1", dead_port, tree.ring, timeout_s=2.0)
+
+
+class TestGracefulShutdown:
+    def test_threaded_stop_waits_for_inflight(self, outsourced):
+        _, tree = outsourced
+        server = ThreadedSearchServer(SearchServer(tree),
+                                      drain_timeout_s=5.0)
+        server.start()
+        host, port = server.address
+        adapter, channel = connect_socket(host, port, tree.ring)
+        try:
+            assert adapter.frontier_round([tree.root_id], [3]).round_trips
+        finally:
+            channel.close()
+        server.stop()     # drains cleanly with nothing in flight
+
+    def test_async_stop_drains(self, outsourced, reference):
+        client, tree = outsourced
+        handle = start_async_server(SearchServer(tree), drain_timeout_s=5.0)
+        adapter, channel = connect_resilient_socket(
+            "127.0.0.1", handle.port, tree.ring, policy=fast_policy())
+        try:
+            assert run_queries(client, adapter) == reference
+        finally:
+            channel.close()
+        handle.stop()
+        assert handle.server.shed_requests == 0

@@ -194,3 +194,68 @@ def test_recovery_is_itself_idempotent(crash_env):
         reopened = SQLiteShareStore(path)
         assert _snapshot(reopened) == env["pre"]
         reopened.close()
+
+
+def test_log_truncated_mid_record_rolls_back_cleanly(crash_env):
+    """A WAL truncated mid-record (torn intent) recovers without raising.
+
+    A crash inside ``write_intent`` — or an external tool truncating the
+    log — leaves records missing the images their undo would need.  Such
+    an intent never committed, so the apply loop never ran: recovery must
+    roll back to the pre-batch state and must NOT crash on the partial
+    records.
+    """
+    import sqlite3
+
+    env = crash_env
+    path = _fresh_copy(env, "torn-intent.db")
+    existing = max(env["pre"])
+    conn = sqlite3.connect(path)
+    conn.execute("INSERT INTO wal (op) VALUES ('begin')")
+    # A complete record (an 'add' of a node that was never applied) ...
+    conn.execute(
+        "INSERT INTO wal (op, node_id, parent, ord, after) "
+        "VALUES ('add', ?, ?, 0, X'00')", (existing + 1, env["marks"]["root"]))
+    # ... followed by torn ones: a 'replace' missing its before-image, a
+    # 'remove' missing image and order, and a record with no node at all.
+    conn.execute(
+        "INSERT INTO wal (op, node_id) VALUES ('replace', ?)", (existing,))
+    conn.execute("INSERT INTO wal (op, node_id) VALUES ('remove', ?)",
+                 (existing,))
+    conn.execute("INSERT INTO wal (op) VALUES ('add')")
+    # No commit marker: the batch never became durable.
+    conn.commit()
+    conn.close()
+
+    reopened = SQLiteShareStore(path)
+    assert reopened.last_recovery == "rolled-back"
+    assert _snapshot(reopened) == env["pre"]
+    # The log is checkpointed; a second open is clean.
+    reopened.close()
+    again = SQLiteShareStore(path)
+    assert again.last_recovery == "clean"
+    assert _snapshot(again) == env["pre"]
+    again.close()
+
+
+def test_committed_log_missing_redo_image_is_loud(crash_env):
+    """A commit marker proves the intent was complete — a missing redo
+    image there is real corruption and must raise, not be skipped."""
+    import sqlite3
+
+    from repro.errors import ProtocolError
+
+    env = crash_env
+    path = _fresh_copy(env, "corrupt-committed.db")
+    existing = max(env["pre"])
+    conn = sqlite3.connect(path)
+    conn.execute("INSERT INTO wal (op) VALUES ('begin')")
+    conn.execute("INSERT INTO wal (op, node_id) VALUES ('add', ?)",
+                 (existing + 1,))
+    conn.execute("INSERT INTO wal (op) VALUES ('commit')")
+    conn.commit()
+    conn.close()
+
+    with pytest.raises(ProtocolError) as excinfo:
+        SQLiteShareStore(path)
+    assert "redo image" in str(excinfo.value)

@@ -112,3 +112,80 @@ class TestFrameAssembler:
         payload = b"x" * (1024 * 1024)
         assert FrameAssembler(MAX_FRAME_BYTES).feed(
             encode_frame(payload)) == [payload]
+
+
+class TestFrameAssemblerPoisoning:
+    """After an invalid prefix the stream is unrecoverable — say so loudly."""
+
+    def test_rejection_names_length_and_limit(self):
+        assembler = FrameAssembler(max_frame_bytes=8)
+        with pytest.raises(ProtocolError) as excinfo:
+            assembler.feed(b"\x00\x00\x00\x09")
+        assert "9-byte frame" in str(excinfo.value)
+        assert "8-byte frame limit" in str(excinfo.value)
+
+    def test_poisoned_after_oversize_header(self):
+        assembler = FrameAssembler(max_frame_bytes=8)
+        assert not assembler.poisoned
+        with pytest.raises(ProtocolError):
+            assembler.feed(b"\x00\x00\x00\x09")
+        assert assembler.poisoned
+
+    def test_valid_frame_after_poisoning_is_refused(self):
+        # A bad length prefix destroys the framing: there is no way to
+        # know where the next frame starts, so feeding a perfectly valid
+        # frame afterwards must re-raise instead of misparsing it.
+        assembler = FrameAssembler(max_frame_bytes=8)
+        with pytest.raises(ProtocolError) as first:
+            assembler.feed(b"\x00\x00\x00\x09")
+        with pytest.raises(ProtocolError) as second:
+            assembler.feed(encode_frame(b"ok", max_frame_bytes=8))
+        assert str(second.value) == str(first.value)
+        assert assembler.poisoned
+
+    def test_zero_length_frame_poisons_too(self):
+        assembler = FrameAssembler()
+        with pytest.raises(ProtocolError):
+            assembler.feed(b"\x00\x00\x00\x00")
+        assert assembler.poisoned
+        with pytest.raises(ProtocolError):
+            assembler.feed(encode_frame(b"later"))
+
+    def test_bad_header_split_across_feeds(self):
+        # The poisonous prefix arrives one byte at a time interleaved
+        # with short reads; rejection happens exactly when the fourth
+        # header byte lands, not before.
+        assembler = FrameAssembler(max_frame_bytes=8)
+        for byte in b"\x00\x00\x00":
+            assert assembler.feed(bytes([byte])) == []
+            assert not assembler.poisoned
+        with pytest.raises(ProtocolError):
+            assembler.feed(b"\x09")
+        assert assembler.poisoned
+
+    def test_good_frames_before_poison_are_delivered(self):
+        assembler = FrameAssembler(max_frame_bytes=8)
+        stream = encode_frame(b"first", max_frame_bytes=8) + b"\x00\x00\x00\x09"
+        with pytest.raises(ProtocolError):
+            assembler.feed(stream)
+        # The complete frame preceding the bad prefix was still decoded —
+        # the exception only rejects the stream from the poison onwards.
+        assembler_ok = FrameAssembler(max_frame_bytes=8)
+        frames = assembler_ok.feed(encode_frame(b"first", max_frame_bytes=8))
+        assert frames == [b"first"]
+
+    def test_interleaved_partial_feeds_still_assemble(self):
+        # Two frames interleaved with arbitrary split points — a
+        # truncation mid-frame followed by the rest plus a second frame
+        # must yield both, with clean boundary state.
+        first = encode_frame(b"alpha")
+        second = encode_frame(b"beta")
+        assembler = FrameAssembler()
+        assert assembler.feed(first[:3]) == []
+        assert assembler.feed(first[3:7]) == []
+        assert not assembler.at_boundary()
+        frames = assembler.feed(first[7:] + second[:5])
+        assert frames == [b"alpha"]
+        assert assembler.feed(second[5:]) == [b"beta"]
+        assert assembler.at_boundary()
+        assert not assembler.poisoned
