@@ -26,6 +26,14 @@ from .quotient import (
     default_int_modulus,
 )
 from .rings import CoefficientRing, IntegerRing, ZZ
+from .vkernels import (
+    VecFpKernel,
+    fits_native_width,
+    numpy_or_none,
+    use_vector_kernels,
+    vector_kernel_for,
+    vector_kernels_enabled,
+)
 
 __all__ = [
     "CoefficientRing",
@@ -33,8 +41,14 @@ __all__ = [
     "ZZ",
     "FpKernel",
     "ZKernel",
+    "VecFpKernel",
     "kernels_enabled",
     "use_kernels",
+    "fits_native_width",
+    "numpy_or_none",
+    "use_vector_kernels",
+    "vector_kernel_for",
+    "vector_kernels_enabled",
     "PrimeField",
     "ExtensionField",
     "find_irreducible_polynomial",

@@ -15,6 +15,7 @@ from .kernels import FpKernel, kernels_enabled
 from .modint import modinv
 from .primes import is_prime
 from .rings import CoefficientRing
+from .vkernels import vector_kernel_for, vector_kernels_enabled
 
 __all__ = ["PrimeField"]
 
@@ -35,6 +36,7 @@ class PrimeField(CoefficientRing):
         self.p = p
         self.name = f"F_{p}"
         self._kernel = FpKernel(p)
+        self._vkernel = vector_kernel_for(p)
 
     # -- constants ---------------------------------------------------------
     @property
@@ -81,7 +83,19 @@ class PrimeField(CoefficientRing):
         return True
 
     def kernel(self) -> Optional[FpKernel]:
-        return self._kernel if kernels_enabled() else None
+        """Fastest available kernel tier: vectorized → flat → None.
+
+        The vectorized tier is advertised only when numpy imported, ``p``
+        fits the native limb (both decided at construction) and both the
+        :func:`use_kernels` and :func:`use_vector_kernels` switches are on;
+        otherwise the flat :class:`FpKernel` (or, with kernels disabled
+        entirely, the generic reference path) applies.
+        """
+        if not kernels_enabled():
+            return None
+        if self._vkernel is not None and vector_kernels_enabled():
+            return self._vkernel
+        return self._kernel
 
     def order(self) -> int:
         """Number of elements in the field."""

@@ -1,0 +1,294 @@
+"""Native-width vectorized kernels: the array tier of the polynomial layer.
+
+:mod:`repro.algebra.kernels` moved coefficient arithmetic from per-element
+ring dispatch to flat Python lists.  This module adds one more tier for the
+``F_p`` domain: when numpy is importable and ``p`` is small enough that all
+intermediate products fit in a signed 64-bit limb, :class:`VecFpKernel`
+replaces the per-coefficient Python-int loops with a handful of array ops —
+``np.convolve`` for products, a matrix/vector pass for batched evaluation.
+
+Tier selection stays inside the existing dispatch:
+:meth:`~repro.algebra.fp.PrimeField.kernel` returns the vectorized kernel
+only when :func:`~repro.algebra.kernels.kernels_enabled` is true, numpy is
+present, :func:`vector_kernels_enabled` is true, and
+:func:`fits_native_width` holds for ``p``.  Every other case falls back to
+:class:`~repro.algebra.kernels.FpKernel` (or the generic reference path), so
+numpy never becomes a hard dependency and the pure-Python path remains the
+bit-identity reference.
+
+Overflow discipline (all bounds are strict, checked per call):
+
+* convolution — a column of ``a * b`` is a sum of at most ``min(len)``
+  products of residues ``< p``.  If ``min(len) * (p-1)^2 < 2^63`` a single
+  ``np.convolve`` is exact; otherwise the shorter operand is split into
+  chunks small enough that each partial convolution is exact, each chunk is
+  reduced mod ``p`` and the (tiny, ``< chunks * p``) reduced partials are
+  summed — exact for every ``p`` this kernel accepts.
+* batched evaluation — with a shared power table the dot product needs
+  ``len * (p-1)^2 < 2^63``; when that fails the kernel falls back to a
+  column-wise Horner sweep whose accumulator is bounded by
+  ``(p-1)*point + (p-1) < p^2 + p``, which :func:`fits_native_width`
+  guarantees fits.
+
+Outputs are converted back to Python ints (``ndarray.tolist()``) so results
+are indistinguishable — by value, type and hash — from the flat tier.
+
+Setting the environment variable ``REPRO_DISABLE_NUMPY`` to a non-empty
+value before import makes the module behave exactly as if numpy were not
+installed; CI uses it to prove the fallback path stays green.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from .kernels import FpKernel, _school_mul, _trim
+
+try:  # pragma: no cover - exercised via the REPRO_DISABLE_NUMPY CI leg
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        raise ImportError("numpy disabled by REPRO_DISABLE_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+__all__ = [
+    "VecFpKernel",
+    "fits_native_width",
+    "numpy_or_none",
+    "use_vector_kernels",
+    "vector_kernel_for",
+    "vector_kernels_enabled",
+    "NATIVE_LIMB_BITS",
+    "VECTOR_MIN_COEFFS",
+]
+
+#: Width of the native limb the vectorized tier accumulates in.  numpy has
+#: no arbitrary precision: every intermediate must stay below ``2^63``.
+NATIVE_LIMB_BITS = 63
+
+#: Operand length below which the flat tier's list comprehensions beat the
+#: fixed cost of materialising ndarrays (~1 microsecond per array op).
+VECTOR_MIN_COEFFS = 16
+
+_INT64_LIMIT = 1 << NATIVE_LIMB_BITS
+
+_VECTOR_ENABLED = True
+
+
+def numpy_or_none():
+    """The numpy module, or None when absent (or disabled via env var)."""
+    return _np
+
+
+def vector_kernels_enabled() -> bool:
+    """True when prime fields should advertise the vectorized tier."""
+    return _VECTOR_ENABLED
+
+
+@contextmanager
+def use_vector_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily enable/disable the vectorized tier only.
+
+    ``with use_vector_kernels(False): ...`` pins dispatch to the flat
+    :class:`FpKernel`/:class:`ZKernel` tier while leaving
+    :func:`kernels_enabled` untouched — how the benchmarks isolate the
+    array speedup from the flat-kernel speedup.
+    """
+    global _VECTOR_ENABLED
+    previous = _VECTOR_ENABLED
+    _VECTOR_ENABLED = enabled
+    try:
+        yield
+    finally:
+        _VECTOR_ENABLED = previous
+
+
+def fits_native_width(p: int) -> bool:
+    """True when every ``F_p`` intermediate fits a signed 64-bit limb.
+
+    The binding constraint is the Horner step ``acc * point + c`` with
+    ``acc, point, c < p``: it needs ``(p-1)^2 + (p-1) < 2^63``, i.e.
+    ``p`` below roughly ``2^31.5``.  Larger primes stay on the flat
+    bigint tier.
+    """
+    return p > 1 and (p - 1) * (p - 1) + (p - 1) < _INT64_LIMIT
+
+
+class VecFpKernel(FpKernel):
+    """Array arithmetic on coefficients in ``[0, p)`` with ``p`` native-width.
+
+    Same contract as :class:`FpKernel` — read-only sequences of canonical
+    residues in, trimmed lists of canonical residues (plain Python ints)
+    out — so :meth:`Polynomial._from_canonical` wraps results unchanged and
+    the two tiers are bit-identical by construction.  Operands shorter than
+    :data:`VECTOR_MIN_COEFFS` delegate to the flat tier, where list
+    comprehensions still win.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, p: int) -> None:
+        if _np is None:
+            raise RuntimeError("VecFpKernel requires numpy")
+        if not fits_native_width(p):
+            raise ValueError(f"p={p} exceeds the native 64-bit limb width")
+        super().__init__(p)
+
+    # -- elementwise ops -------------------------------------------------------
+
+    def add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if max(len(a), len(b)) < VECTOR_MIN_COEFFS:
+            return super().add(a, b)
+        p = self.p
+        if len(a) < len(b):
+            a, b = b, a
+        out = _np.asarray(a, dtype=_np.int64)
+        if b:
+            out = out.copy()
+            out[:len(b)] += _np.asarray(b, dtype=_np.int64)
+            out[:len(b)] %= p
+        out = out.tolist()
+        return _trim(out) if len(a) == len(b) else out
+
+    def sub(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if max(len(a), len(b)) < VECTOR_MIN_COEFFS:
+            return super().sub(a, b)
+        p = self.p
+        n = max(len(a), len(b))
+        av = _np.zeros(n, dtype=_np.int64)
+        if a:
+            av[:len(a)] = a
+        if b:
+            av[:len(b)] -= _np.asarray(b, dtype=_np.int64)
+            av[:len(b)] %= p
+        out = av.tolist()
+        return _trim(out) if len(a) == len(b) else out
+
+    def neg(self, a: Sequence[int]) -> List[int]:
+        if len(a) < VECTOR_MIN_COEFFS:
+            return super().neg(a)
+        av = _np.asarray(a, dtype=_np.int64)
+        return ((-av) % self.p).tolist()
+
+    def scalar_mul(self, a: Sequence[int], scalar: int) -> List[int]:
+        p = self.p
+        scalar %= p
+        if not scalar:
+            return []
+        if len(a) < VECTOR_MIN_COEFFS:
+            return super().scalar_mul(a, scalar)
+        av = _np.asarray(a, dtype=_np.int64)
+        return _trim(((av * scalar) % p).tolist())
+
+    def derivative(self, a: Sequence[int]) -> List[int]:
+        if len(a) < VECTOR_MIN_COEFFS:
+            return super().derivative(a)
+        p = self.p
+        if (len(a) - 1) * (p - 1) >= _INT64_LIMIT:  # pragma: no cover
+            return super().derivative(a)
+        av = _np.asarray(a[1:], dtype=_np.int64)
+        av *= _np.arange(1, len(a), dtype=_np.int64)
+        return _trim((av % p).tolist())
+
+    # -- convolution -----------------------------------------------------------
+
+    def mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not a or not b:
+            return []
+        if min(len(a), len(b)) < VECTOR_MIN_COEFFS:
+            return _trim([c % self.p for c in _school_mul(a, b)])
+        p = self.p
+        av = _np.asarray(a, dtype=_np.int64)
+        bv = _np.asarray(b, dtype=_np.int64)
+        return _trim(self._convolve_mod(av, bv).tolist())
+
+    def _convolve_mod(self, av, bv):
+        """Exact modular convolution of two residue arrays.
+
+        A convolution column is a sum of at most ``min(len)`` products of
+        residues ``< p``.  If that bound fits the limb a single
+        ``np.convolve`` is exact; otherwise the shorter operand is split
+        into limb-safe chunks, each partial convolution reduced mod ``p``
+        before accumulation (the sum of reduced partials is ``< chunks * p``,
+        far below the limb for any native-width ``p``).
+        """
+        p = self.p
+        if len(av) < len(bv):
+            av, bv = bv, av
+        per_term = (p - 1) * (p - 1)
+        if len(bv) * per_term < _INT64_LIMIT:
+            return _np.convolve(av, bv) % p
+        step = max(1, (_INT64_LIMIT - 1) // per_term)
+        out = _np.zeros(len(av) + len(bv) - 1, dtype=_np.int64)
+        for start in range(0, len(bv), step):
+            chunk = bv[start:start + step]
+            out[start:start + len(av) + len(chunk) - 1] += (
+                _np.convolve(av, chunk) % p)
+        out %= p
+        return out
+
+    # -- batched evaluation ----------------------------------------------------
+
+    def evaluate_many(self, seqs: Sequence[Sequence[int]],
+                      point: int) -> List[int]:
+        """Evaluate many coefficient vectors at one point, batched.
+
+        Pads the vectors into one ``(n, longest)`` int64 matrix and hands it
+        to :meth:`evaluate_matrix`; tiny batches keep the flat tier's shared
+        power table, which beats the matrix setup cost.
+        """
+        longest = 0
+        for s in seqs:
+            if len(s) > longest:
+                longest = len(s)
+        if len(seqs) * longest < 4 * VECTOR_MIN_COEFFS:
+            return super().evaluate_many(seqs, point)
+        matrix = _np.zeros((len(seqs), longest), dtype=_np.int64)
+        for i, s in enumerate(seqs):
+            if s:
+                matrix[i, :len(s)] = s
+        return self.evaluate_matrix(matrix, point)
+
+    def evaluate_matrix(self, matrix, point: int) -> List[int]:
+        """Evaluate every row of an int64 residue matrix at ``point``.
+
+        This is the zero-copy entry used by the page pipeline: rows arrive
+        straight from :func:`repro.net.pages.decode_coefficients_batch`
+        without ever becoming Python lists.  When the dot product against a
+        power table is provably exact (``cols * (p-1)^2 < 2^63``) the whole
+        batch is one matmul; otherwise a column-wise Horner sweep reduces
+        after every step, exact for any native-width ``p``.
+        """
+        p = self.p
+        point %= p
+        rows, cols = matrix.shape
+        if cols == 0:
+            return [0] * rows
+        if cols * (p - 1) * (p - 1) < _INT64_LIMIT:
+            powers = _np.empty(cols, dtype=_np.int64)
+            value = 1 % p
+            for i in range(cols):
+                powers[i] = value
+                value = value * point % p
+            return ((matrix @ powers) % p).tolist()
+        acc = _np.zeros(rows, dtype=_np.int64)
+        for j in range(cols - 1, -1, -1):
+            acc *= point
+            acc += matrix[:, j]
+            acc %= p
+        return acc.tolist()
+
+
+def vector_kernel_for(p: int) -> Optional[VecFpKernel]:
+    """A :class:`VecFpKernel` for ``p``, or None when the tier is unavailable.
+
+    Availability is static per prime (numpy importable, ``p`` native-width);
+    the dynamic switches (:func:`kernels_enabled`,
+    :func:`vector_kernels_enabled`) are consulted at dispatch time by
+    :meth:`PrimeField.kernel`, not here.
+    """
+    if _np is None or not fits_native_width(p):
+        return None
+    return VecFpKernel(p)

@@ -43,12 +43,14 @@ __all__ = [
     "run_concurrency_benchmarks",
     "run_update_benchmarks",
     "run_fault_benchmarks",
+    "run_kernel_benchmarks",
     "write_snapshot",
     "SNAPSHOT_NAME",
     "SERVING_SNAPSHOT_NAME",
     "CONCURRENCY_SNAPSHOT_NAME",
     "UPDATES_SNAPSHOT_NAME",
     "FAULTS_SNAPSHOT_NAME",
+    "KERNELS_SNAPSHOT_NAME",
 ]
 
 SNAPSHOT_NAME = "BENCH_1"
@@ -61,9 +63,32 @@ UPDATES_SNAPSHOT_NAME = "BENCH_4"
 
 FAULTS_SNAPSHOT_NAME = "BENCH_5"
 
+KERNELS_SNAPSHOT_NAME = "BENCH_6"
+
 #: Prime used for the raw F_p multiplication benchmark (large enough that
 #: coefficients are realistic residues, small enough to stay hardware-native).
 _BENCH_PRIME = 10007
+
+
+def _environment() -> Dict[str, Any]:
+    """python/numpy/platform stamp written into every snapshot config block.
+
+    BENCH_1→6 trajectories are only comparable when the host is known;
+    ``numpy: null`` additionally records that a snapshot measured the
+    fallback (flat-tier) dispatch rather than the vectorized one.
+    """
+    import platform
+
+    from .algebra import numpy_or_none
+
+    np = numpy_or_none()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": None if np is None else np.__version__,
+    }
 
 
 def _ops_per_sec(fn: Callable[[], Any], min_time: float = 0.10,
@@ -203,6 +228,7 @@ def run_benchmarks(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
             "repeat": repeat,
             "sizes": list(sizes),
             "degrees": list(degrees),
+            "environment": _environment(),
         },
         "poly_mul_fp": bench_poly_mul(degrees, min_time=min_time, repeat=repeat),
         "quotient_reduce": bench_quotient_reduce(min_time=min_time, repeat=repeat),
@@ -393,7 +419,8 @@ def run_serving_benchmarks(quick: bool = False) -> Dict[str, Any]:
         "description": "serving engine: batched frontier protocol vs v1, "
                        "share-store backends, multi-document concurrency",
         "config": {"quick": quick, "clients": clients,
-                   "queries": list(_SERVING_QUERIES)},
+                   "queries": list(_SERVING_QUERIES),
+                   "environment": _environment()},
         "protocol": bench_serving_protocol(clients),
         "backends": bench_serving_backends(clients),
         "concurrency": bench_serving_concurrency(
@@ -590,7 +617,8 @@ def run_concurrency_benchmarks(quick: bool = False,
                        "SQLite backend, real TCP sessions",
         "config": {"quick": quick, "element_count": element_count,
                    "session_counts": list(session_counts),
-                   "lookups_per_session": lookups_per_session},
+                   "lookups_per_session": lookups_per_session,
+                   "environment": _environment()},
         "concurrency": results,
     }
 
@@ -731,7 +759,8 @@ def run_update_benchmarks(quick: bool = False) -> Dict[str, Any]:
                        "WAL-journaled batch latency, binary coefficient "
                        "pages vs JSON rows, batched store evaluation",
         "config": {"quick": quick, "element_count": element_count,
-                   "subtree_sizes": list(subtree_sizes)},
+                   "subtree_sizes": list(subtree_sizes),
+                   "environment": _environment()},
         "file_size": bench_update_file_size(server_tree),
         "update_latency": bench_update_latency(client, server_tree,
                                                subtree_sizes),
@@ -880,9 +909,288 @@ def run_fault_benchmarks(quick: bool = False,
                        "retry/reconnect/replay client",
         "config": {"quick": quick, "rates": [f"{rate:.2f}" for rate in rates],
                    "repeats": repeats, "tags": tags, "seed": seed,
-                   "document_elements": document.size()},
+                   "document_elements": document.size(),
+                   "environment": _environment()},
         "faults": rows,
     }
+
+
+# ---------------------------------------------------------------------------
+# Vectorized-kernel benchmark (BENCH_6): array tier vs flat tier vs generic
+# ---------------------------------------------------------------------------
+
+#: Tier order: fastest dispatch first; "flat" is the BENCH_1–5 kernel path
+#: (and the BENCH_4 batched-store path), "generic" the paper-reference one.
+_KERNEL_TIERS = ("vectorized", "flat", "generic")
+
+
+def _tier_context(tier: str):
+    """Context manager pinning kernel dispatch to one tier."""
+    import contextlib
+
+    from .algebra import use_vector_kernels
+
+    stack = contextlib.ExitStack()
+    if tier == "generic":
+        stack.enter_context(use_kernels(False))
+    elif tier == "flat":
+        stack.enter_context(use_kernels(True))
+        stack.enter_context(use_vector_kernels(False))
+    elif tier == "vectorized":
+        stack.enter_context(use_kernels(True))
+        stack.enter_context(use_vector_kernels(True))
+    else:  # pragma: no cover - guarded by _KERNEL_TIERS
+        raise ValueError(f"unknown kernel tier {tier!r}")
+    return stack
+
+
+def bench_kernel_poly_mul(degrees=(64, 128, 256), p: int = _BENCH_PRIME,
+                          min_time: float = 0.10,
+                          repeat: int = 3) -> Dict[str, Any]:
+    """Dense ``F_p`` multiplication throughput per kernel tier."""
+    field = PrimeField(p)
+    rng = random.Random(0xBE7C)
+    results: Dict[str, Any] = {"p": p, "degrees": {}}
+    for degree in degrees:
+        a = Polynomial([rng.randrange(p) for _ in range(degree)] + [1], field)
+        b = Polynomial([rng.randrange(p) for _ in range(degree)] + [1], field)
+        rates: Dict[str, float] = {}
+        products = {}
+        for tier in _KERNEL_TIERS:
+            with _tier_context(tier):
+                products[tier] = (a * b).coeffs
+                rates[tier] = _ops_per_sec(lambda: a * b, min_time, repeat)
+        assert products["vectorized"] == products["flat"] == products["generic"]
+        results["degrees"][str(degree)] = {
+            **{f"{tier}_ops_per_sec": round(rates[tier], 2)
+               for tier in _KERNEL_TIERS},
+            "speedup_vs_flat": round(rates["vectorized"] / rates["flat"], 2),
+            "speedup_vs_generic": round(
+                rates["vectorized"] / rates["generic"], 2),
+        }
+    return results
+
+
+def bench_kernel_evaluate_many(server_tree,
+                               batches=(512, 4096)) -> Dict[str, Any]:
+    """Cold-cache SQLite ``evaluate_many`` passes/s per kernel tier.
+
+    This is the satellite row-path microbenchmark in both directions: the
+    "flat" tier is the before (head+overflow blobs decoded limb-by-limb
+    into Python coefficient lists, evaluated via the shared power table —
+    the BENCH_4 batched path), "vectorized" the after (one grouped array
+    decode feeding one matrix evaluation, no per-coefficient Python ints).
+    ``cache_size=0`` keeps every pass cold so the decode path is what is
+    measured; bit-identity across tiers is asserted per batch.
+    """
+    from .net import SQLiteShareStore
+
+    point = 3
+    results: Dict[str, Any] = {"batches": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SQLiteShareStore.from_tree(os.path.join(tmp, "eval.db"),
+                                           server_tree, cache_size=0)
+        all_ids = store.node_ids()
+        for batch in batches:
+            node_ids = all_ids[:batch]
+            rates: Dict[str, float] = {}
+            answers = {}
+            for tier in _KERNEL_TIERS:
+                with _tier_context(tier):
+                    answers[tier] = store.evaluate_many(node_ids, point)
+                    rates[tier] = _ops_per_sec(
+                        lambda: store.evaluate_many(node_ids, point),
+                        min_time=0.05)
+            assert (answers["vectorized"] == answers["flat"]
+                    == answers["generic"])
+            results["batches"][str(batch)] = {
+                "batch_nodes": len(node_ids),
+                **{f"{tier}_passes_per_sec": round(rates[tier], 2)
+                   for tier in _KERNEL_TIERS},
+                "speedup_vs_flat": round(
+                    rates["vectorized"] / rates["flat"], 2),
+                "speedup_vs_generic": round(
+                    rates["vectorized"] / rates["generic"], 2),
+                "bit_identical": True,
+            }
+        store.close()
+    return results
+
+
+def bench_kernel_lookups(client, server_tree, tags: List[str],
+                         repeat: int = 3) -> Dict[str, Any]:
+    """End-to-end lookups/s per kernel tier over the in-process v2 transport.
+
+    Each tier gets its own cold SQLite-backed server (so the share LRU of
+    one tier never subsidises another), but every store is built — and
+    every tier warmed with one untimed pass — *before* any timing starts,
+    and the timed rounds interleave the tiers.  Measuring a tier right
+    after its own ``from_tree`` bulk write would charge that tier for
+    page-cache churn the others never see; interleaving spreads drift
+    evenly so the best-of-``repeat`` ratios are stable.  Matches are
+    asserted identical across tiers.
+    """
+    from .core import VerificationMode
+    from .net import SQLiteShareStore, SearchServer, connect
+
+    results: Dict[str, Any] = {"tiers": {}, "tags": list(tags)}
+    rates: Dict[str, float] = {}
+    reference = None
+    with tempfile.TemporaryDirectory() as tmp:
+        stores = {}
+        engines = {}
+        try:
+            for tier in _KERNEL_TIERS:
+                stores[tier] = SQLiteShareStore.from_tree(
+                    os.path.join(tmp, f"{tier}.db"), server_tree,
+                    cache_size=0)
+                adapter, _ = connect(SearchServer(stores[tier]))
+                engines[tier] = client.engine(adapter, VerificationMode.NONE)
+                engines[tier].frontier_lookahead = 2
+
+            def run_all(tier):
+                engine = engines[tier]
+                return [tuple(engine.lookup(tag).matches) for tag in tags]
+
+            for tier in _KERNEL_TIERS:
+                with _tier_context(tier):
+                    answers = run_all(tier)
+                if reference is None:
+                    reference = answers
+                else:
+                    assert answers == reference, \
+                        f"tier {tier} answered differently"
+            best = {tier: float("inf") for tier in _KERNEL_TIERS}
+            for _ in range(repeat):
+                for tier in _KERNEL_TIERS:
+                    with _tier_context(tier):
+                        start = time.perf_counter()
+                        run_all(tier)
+                        elapsed = time.perf_counter() - start
+                    best[tier] = min(best[tier], elapsed)
+        finally:
+            for store in stores.values():
+                store.close()
+        for tier in _KERNEL_TIERS:
+            rates[tier] = len(tags) / best[tier]
+            results["tiers"][tier] = {
+                "lookups_per_s": round(rates[tier], 2)}
+    results["speedup_vs_flat"] = round(
+        rates["vectorized"] / rates["flat"], 2)
+    results["speedup_vs_generic"] = round(
+        rates["vectorized"] / rates["generic"], 2)
+    return results
+
+
+def bench_adaptive_lookahead(client, server_tree,
+                             tags: List[str]) -> Dict[str, Any]:
+    """Round trips per descent policy: fixed lookahead depths vs adaptive.
+
+    The workload and answers are deterministic, so the round-trip counts
+    are host-independent; the adaptive row also records the controller's
+    trajectory (rounds observed, deepen/back-off steps, final depth).
+    """
+    from .core import AdaptiveLookahead, VerificationMode
+    from .net import SearchServer, connect
+
+    policies = [("fixed-0", 0), ("fixed-1", 1), ("fixed-2", 2),
+                ("fixed-4", 4), ("adaptive", None)]
+    results: Dict[str, Any] = {"policies": {}}
+    reference = None
+    for name, depth in policies:
+        controller = AdaptiveLookahead() if depth is None else None
+        adapter, channel = connect(SearchServer(server_tree))
+        engine = client.engine(adapter, VerificationMode.NONE)
+        engine.frontier_lookahead = controller if depth is None else depth
+        round_trips = 0
+        evaluations = 0
+        answers = []
+        for tag in tags:
+            outcome = engine.lookup(tag)
+            answers.append(tuple(outcome.matches))
+            round_trips += outcome.stats.round_trips
+            evaluations += outcome.stats.evaluations
+        if reference is None:
+            reference = answers
+        else:
+            assert answers == reference, f"policy {name} answered differently"
+        row = {"round_trips": round_trips,
+               "server_evaluations": evaluations,
+               "total_bytes": channel.stats.total_bytes}
+        if controller is not None:
+            row["controller"] = {"final_depth": controller.depth,
+                                 "rounds": controller.rounds,
+                                 "deepened": controller.deepened,
+                                 "backed_off": controller.backed_off}
+        results["policies"][name] = row
+    return results
+
+
+def run_kernel_benchmarks(quick: bool = False) -> Dict[str, Any]:
+    """BENCH_6: vectorized kernel tier + zero-copy pages vs flat vs generic.
+
+    One large skewed document (the BENCH_3/BENCH_4 workload shape) is
+    outsourced once.  The store batch numbers are directly comparable to
+    BENCH_4's ``evaluate_many`` (same shape, same ``cache_size=0``): its
+    batched path is exactly this snapshot's "flat" tier.  Without numpy
+    the vectorized tier silently falls back to flat — the environment
+    stamp (``config.environment.numpy``) records which one was measured.
+    """
+    element_count = 4000 if quick else 120_000
+    degrees = (64, 128) if quick else (64, 128, 256)
+    batches = (256,) if quick else (512, 4096)
+    document = _concurrency_document(element_count)
+    client, server_tree, _ = outsource_document(document, seed=b"bench-6")
+    tags = _selective_tags(document, 4 if quick else 6)
+    return {
+        "snapshot": KERNELS_SNAPSHOT_NAME,
+        "description": "native-width vectorized kernels + zero-copy "
+                       "coefficient pages: array tier vs flat kernels vs "
+                       "generic reference, adaptive speculation depth",
+        "config": {"quick": quick, "element_count": element_count,
+                   "ring": server_tree.ring.name,
+                   "degrees": list(degrees), "batches": list(batches),
+                   "tags": list(tags),
+                   "environment": _environment()},
+        "poly_mul": bench_kernel_poly_mul(degrees),
+        "evaluate_many": bench_kernel_evaluate_many(server_tree, batches),
+        "end_to_end": bench_kernel_lookups(client, server_tree, tags),
+        "adaptive_lookahead": bench_adaptive_lookahead(client, server_tree,
+                                                       tags),
+    }
+
+
+def format_kernel_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_6 snapshot."""
+    env = results["config"]["environment"]
+    lines = [f"snapshot {results['snapshot']} "
+             f"({results['config']['element_count']} elements, "
+             f"numpy {env['numpy'] or 'absent'})"]
+    for degree, row in sorted(results["poly_mul"]["degrees"].items(),
+                              key=lambda item: int(item[0])):
+        lines.append(
+            f"  poly mul deg {degree:>4}: vectorized "
+            f"{row['vectorized_ops_per_sec']:>12.0f} ops/s  "
+            f"(flat x{row['speedup_vs_flat']}, "
+            f"generic x{row['speedup_vs_generic']})")
+    for batch, row in sorted(results["evaluate_many"]["batches"].items(),
+                             key=lambda item: int(item[0])):
+        lines.append(
+            f"  evaluate_many({batch:>5}): vectorized "
+            f"{row['vectorized_passes_per_sec']:>8.2f} passes/s  "
+            f"(flat x{row['speedup_vs_flat']}, "
+            f"generic x{row['speedup_vs_generic']})")
+    e2e = results["end_to_end"]
+    for tier in _KERNEL_TIERS:
+        lines.append(f"  end-to-end {tier:>10}: "
+                     f"{e2e['tiers'][tier]['lookups_per_s']:>8.2f} lookups/s")
+    lines.append(f"  end-to-end speedup: x{e2e['speedup_vs_flat']} vs flat, "
+                 f"x{e2e['speedup_vs_generic']} vs generic")
+    adaptive = results["adaptive_lookahead"]["policies"]
+    parts = [f"{name} {row['round_trips']} rt" for name, row in
+             sorted(adaptive.items())]
+    lines.append("  descent round trips: " + ", ".join(parts))
+    return "\n".join(lines)
 
 
 def format_fault_summary(results: Dict[str, Any]) -> str:

@@ -156,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of the kernel suite")
     bench.add_argument("--fault-seed", type=int, default=0, metavar="SEED",
                        help="seed of the BENCH_5 fault plans (default: 0)")
+    bench.add_argument("--kernels", action="store_true",
+                       help="run the BENCH_6 vectorized-kernel benchmark "
+                            "(array tier vs flat kernels vs generic reference "
+                            "for multiplication, batched store evaluation and "
+                            "end-to-end lookups, plus adaptive speculation "
+                            "depth) instead of the default suite")
     return parser
 
 
@@ -310,12 +316,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         format_concurrency_summary,
         format_fault_summary,
+        format_kernel_summary,
         format_serving_summary,
         format_summary,
         format_update_summary,
         run_benchmarks,
         run_concurrency_benchmarks,
         run_fault_benchmarks,
+        run_kernel_benchmarks,
         run_serving_benchmarks,
         run_update_benchmarks,
         write_snapshot,
@@ -325,12 +333,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 (("--serving", args.serving),
                  ("--concurrency", args.concurrency is not None),
                  ("--updates", args.updates),
-                 ("--faults", args.faults)) if on]
+                 ("--faults", args.faults),
+                 ("--kernels", args.kernels)) if on]
     if len(selected) > 1:
         print(f"error: {' and '.join(selected)} select different benchmark "
               "suites; pass one of them", file=sys.stderr)
         return 2
-    if args.faults:
+    if args.kernels:
+        results = run_kernel_benchmarks(quick=args.quick)
+        out = args.out or "BENCH_6.json"
+        write_snapshot(results, out)
+        print(format_kernel_summary(results))
+    elif args.faults:
         results = run_fault_benchmarks(quick=args.quick, seed=args.fault_seed)
         out = args.out or "BENCH_5.json"
         write_snapshot(results, out)

@@ -6,6 +6,7 @@ from .advanced import AdvancedQueryExecutor, AdvancedQueryResult, AdvancedStrate
 from .encoder import PolynomialNode, PolynomialTree, encode_document, encode_element
 from .mapping import TagMapping
 from .query import (
+    AdaptiveLookahead,
     FrontierResult,
     LocalServerAdapter,
     LookupOutcome,
@@ -52,6 +53,7 @@ __all__ = [
     "ServerShareTree",
     "share_tree",
     "reconstruct_tree",
+    "AdaptiveLookahead",
     "QueryEngine",
     "QueryStats",
     "FrontierResult",

@@ -42,8 +42,78 @@ __all__ = [
     "ServerInterface",
     "LocalServerAdapter",
     "LookupOutcome",
+    "AdaptiveLookahead",
     "QueryEngine",
 ]
+
+
+class AdaptiveLookahead:
+    """Speculation-depth controller driven by the observed prune rate.
+
+    Batched v2 transports accept a ``lookahead`` depth per
+    :meth:`ServerInterface.frontier_round`: the server speculatively
+    evaluates that many extra levels below the requested frontier.  Deep
+    speculation is free bandwidth-wise only while the frontier stays alive
+    — every child of a node that turns out dead was evaluated and shipped
+    for nothing.  This controller tracks the fraction of each round's
+    frontier that got pruned and adjusts the depth one step at a time:
+    deepen while the prune rate stays at or below ``deepen_below``, back
+    off when it reaches ``backoff_above`` (between the two thresholds the
+    depth holds).
+
+    Instances are plain ``lookahead`` values: ``int(controller)`` (and
+    hence :class:`~repro.net.messages.FrontierRequest`, which coerces with
+    ``int``) sees the current depth, so a controller can be passed wherever
+    a fixed depth is accepted — ``QueryEngine(frontier_lookahead=...)``,
+    :meth:`ServerInterface.frontier_round`, or the async
+    ``AsyncServerInterface.begin_frontier``/``frontier_round`` pair.  The
+    engine feeds it automatically; callers driving a transport by hand
+    call :meth:`observe` with each round's frontier size and prune count.
+    """
+
+    def __init__(self, initial: int = 1, min_depth: int = 0,
+                 max_depth: int = 4, deepen_below: float = 0.25,
+                 backoff_above: float = 0.5) -> None:
+        if not 0 <= min_depth <= max_depth:
+            raise ValueError(
+                f"need 0 <= min_depth <= max_depth, got {min_depth}..{max_depth}")
+        if not 0.0 <= deepen_below <= backoff_above:
+            raise ValueError(
+                f"need 0 <= deepen_below <= backoff_above, got "
+                f"{deepen_below}/{backoff_above}")
+        self.min_depth = min_depth
+        self.max_depth = max_depth
+        self.deepen_below = deepen_below
+        self.backoff_above = backoff_above
+        self.depth = max(min_depth, min(initial, max_depth))
+        #: Rounds observed (diagnostics; mirrored into bench output).
+        self.rounds = 0
+        #: Depth increases / decreases taken so far.
+        self.deepened = 0
+        self.backed_off = 0
+
+    def observe(self, frontier_size: int, pruned: int) -> int:
+        """Fold one descent round's outcome in; returns the new depth."""
+        if frontier_size > 0:
+            self.rounds += 1
+            rate = pruned / frontier_size
+            if rate <= self.deepen_below and self.depth < self.max_depth:
+                self.depth += 1
+                self.deepened += 1
+            elif rate >= self.backoff_above and self.depth > self.min_depth:
+                self.depth -= 1
+                self.backed_off += 1
+        return self.depth
+
+    def __int__(self) -> int:
+        return self.depth
+
+    def __index__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:
+        return (f"AdaptiveLookahead(depth={self.depth}, rounds={self.rounds}, "
+                f"deepened={self.deepened}, backed_off={self.backed_off})")
 
 
 class VerificationMode(enum.Enum):
@@ -289,7 +359,11 @@ class QueryEngine:
         self.client_shares = client_shares
         self.server = server
         self.verification = verification
-        #: Speculative depth per batched frontier exchange (v2 transports).
+        #: Speculative depth per batched frontier exchange (v2 transports):
+        #: a fixed int, an :class:`AdaptiveLookahead` controller, or the
+        #: string ``"adaptive"`` for a controller with default thresholds.
+        if frontier_lookahead == "adaptive":
+            frontier_lookahead = AdaptiveLookahead()
         self.frontier_lookahead = frontier_lookahead
         # Cache of the public structure discovered so far (children lists).
         self._children_cache: Dict[int, List[int]] = {}
@@ -436,8 +510,17 @@ class QueryEngine:
         Each exchange covers the current frontier *plus*
         ``frontier_lookahead`` speculated levels; the engine consumes the
         speculated evaluations locally and only goes back to the server
-        when the frontier outruns the data it already holds.
+        when the frontier outruns the data it already holds.  With an
+        :class:`AdaptiveLookahead` controller the depth is re-read before
+        every exchange and the controller observes every round's prune
+        outcome, so speculation deepens on alive-heavy workloads and backs
+        off as soon as speculated children start getting pruned.
         """
+        lookahead = self.frontier_lookahead
+        if lookahead == "adaptive":
+            lookahead = self.frontier_lookahead = AdaptiveLookahead()
+        controller = (lookahead if isinstance(lookahead, AdaptiveLookahead)
+                      else None)
         frontier: List[int] = (list(start_nodes) if start_nodes is not None
                                else [self.server.root_id()])
         zero_nodes: Set[int] = set()
@@ -455,7 +538,7 @@ class QueryEngine:
                    for point in points for node_id in frontier):
                 result = self.server.frontier_round(
                     frontier, points, prune=pending_dead,
-                    lookahead=self.frontier_lookahead)
+                    lookahead=int(lookahead))
                 pending_dead = []
                 stats.round_trips += result.round_trips
                 for point in points:
@@ -483,6 +566,8 @@ class QueryEngine:
             pending_dead.extend(dead)
             pruned.update(dead)
             stats.nodes_pruned += len(dead)
+            if controller is not None:
+                controller.observe(len(frontier), len(dead))
             zero_nodes.update(alive)
             frontier = [child for node_id in alive
                         for child in known_children.get(node_id, [])]

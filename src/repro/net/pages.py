@@ -22,13 +22,27 @@ The v2 format replaces those rows with a compact binary encoding:
 The codec is lossless for arbitrary Python integers (any sign, any
 magnitude) and round-trips the empty vector (the zero polynomial) and
 constant shares; :mod:`tests.test_pages` asserts this property-based.
+
+Alongside the reference int codec live **array codecs**
+(:func:`encode_coefficients_array`, :func:`decode_coefficients_array`,
+:func:`decode_coefficients_batch`): byte-identical encoders and decoders
+that move blobs to/from numpy ``int64`` arrays without materialising a
+Python int per coefficient.  Byte-aligned limb widths decode as a
+``frombuffer`` view widened to 8-byte lanes; odd widths go through one
+vectorized ``unpackbits``/weight-dot pass.  The batch decoder additionally
+groups blobs by identical ``(flags, width, count)`` header so a whole
+SELECT's worth of shares decodes in a handful of array ops — the zero-copy
+half of the vectorized evaluation pipeline.  Decoders return ``None``
+(never wrong answers) whenever numpy is absent or a limb exceeds the
+native 64-bit width; callers fall back to the reference codec.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from ..algebra.vkernels import numpy_or_none
 from ..errors import ProtocolError
 
 __all__ = [
@@ -36,6 +50,9 @@ __all__ = [
     "DEFAULT_PAGE_BYTES",
     "encode_coefficients",
     "decode_coefficients",
+    "encode_coefficients_array",
+    "decode_coefficients_array",
+    "decode_coefficients_batch",
     "split_pages",
     "join_pages",
 ]
@@ -89,8 +106,8 @@ def encode_coefficients(coeffs: Sequence[int]) -> bytes:
     return header + stream.to_bytes((len(values) * width + 7) // 8, "little")
 
 
-def decode_coefficients(blob: bytes) -> List[int]:
-    """Inverse of :func:`encode_coefficients` (loud on any corruption)."""
+def _parse_header(blob: bytes) -> Tuple[int, int, int]:
+    """Validate a blob's header and length; return ``(flags, width, count)``."""
     if len(blob) < _HEADER.size:
         raise ProtocolError(
             f"coefficient blob of {len(blob)} bytes is shorter than the "
@@ -105,6 +122,12 @@ def decode_coefficients(blob: bytes) -> List[int]:
         raise ProtocolError(
             f"coefficient blob is {len(blob)} bytes but the header announces "
             f"{count} limbs of {width} bits ({expected} bytes total)")
+    return flags, width, count
+
+
+def decode_coefficients(blob: bytes) -> List[int]:
+    """Inverse of :func:`encode_coefficients` (loud on any corruption)."""
+    flags, width, count = _parse_header(blob)
     if width == 0:
         return [0] * count
     stream = int.from_bytes(blob[_HEADER.size:], "little")
@@ -117,6 +140,123 @@ def decode_coefficients(blob: bytes) -> List[int]:
     if flags & _FLAG_ZIGZAG:
         values = [_unzigzag(value) for value in values]
     return values
+
+
+def _native_width_limit(flags: int) -> int:
+    """Largest limb width (bits) the array decoders handle for ``flags``.
+
+    Plain limbs up to 63 bits fit a signed int64; zigzag limbs stop at 62
+    because unzigzag computes ``value + 1`` before halving.
+    """
+    return 62 if flags & _FLAG_ZIGZAG else 63
+
+
+def encode_coefficients_array(values) -> bytes:
+    """Serialise a numpy ``int64`` vector, byte-identical to the int codec.
+
+    Accepts an integer ndarray (or any sequence, which — like the cases the
+    array path cannot express: numpy absent, magnitudes at or beyond
+    ``2^62`` where the zigzag shift would overflow — is routed through
+    :func:`encode_coefficients`).  The produced blob is byte-for-byte what
+    :func:`encode_coefficients` yields for the same values, so the two
+    encoders are interchangeable on disk.
+    """
+    np = numpy_or_none()
+    if np is None or not isinstance(values, np.ndarray):
+        return encode_coefficients([int(v) for v in values])
+    if values.dtype.kind != "i" or values.ndim != 1:
+        return encode_coefficients([int(v) for v in values])
+    values = values.astype(np.int64, copy=False)
+    count = int(values.size)
+    flags = 0
+    if count == 0:
+        width = 0
+    else:
+        low = int(values.min())
+        high = int(values.max())
+        if low < 0:
+            if low <= -(1 << 62) or high >= (1 << 62):
+                return encode_coefficients(values.tolist())
+            flags = _FLAG_ZIGZAG
+            values = np.where(values >= 0,
+                              values << 1, ((-values) << 1) - 1)
+            width = int(values.max()).bit_length()
+        else:
+            width = high.bit_length()
+    header = _HEADER.pack(PAGE_FORMAT_VERSION, flags, width, count)
+    if width == 0:
+        return header
+    if width % 8 == 0:
+        lanes = values.astype("<u8").view(np.uint8).reshape(count, 8)
+        return header + lanes[:, :width // 8].tobytes()
+    bits = ((values[:, None] >> np.arange(width, dtype=np.int64)) & 1)
+    return header + np.packbits(
+        bits.astype(np.uint8).ravel(), bitorder="little").tobytes()
+
+
+def decode_coefficients_array(blob: bytes):
+    """Decode one blob to an ``int64`` ndarray, or None when not expressible.
+
+    ``None`` means "use :func:`decode_coefficients`" — returned when numpy
+    is absent or the limb width exceeds the native 64-bit lane.  Corruption
+    still raises :class:`ProtocolError` exactly like the reference decoder.
+    """
+    rows = decode_coefficients_batch([blob])
+    return None if rows is None else rows[0]
+
+
+def decode_coefficients_batch(blobs: Sequence[bytes]):
+    """Decode many blobs to ``int64`` ndarrays in a few vectorized passes.
+
+    Blobs are grouped by identical ``(flags, width, count)`` header; each
+    group's payloads are joined and decoded in one ``frombuffer`` view
+    (byte-aligned widths) or one ``unpackbits``/weight-dot pass (odd
+    widths).  Returns a list of ``(count,)`` int64 arrays parallel to
+    ``blobs``, or ``None`` when numpy is absent or **any** blob's width
+    exceeds the native lane — mixed-width fallback keeps the caller on one
+    code path per batch.  Headers are validated (and raise) either way.
+    """
+    np = numpy_or_none()
+    headers = [_parse_header(blob) for blob in blobs]
+    if np is None:
+        return None
+    if any(width > _native_width_limit(flags)
+           for flags, width, _ in headers):
+        return None
+    groups = {}
+    for index, header in enumerate(headers):
+        groups.setdefault(header, []).append(index)
+    result: List[Optional[object]] = [None] * len(blobs)
+    for (flags, width, count), indices in groups.items():
+        if width == 0:
+            for index in indices:
+                result[index] = np.zeros(count, dtype=np.int64)
+            continue
+        payload_bytes = (count * width + 7) // 8
+        joined = b"".join(blobs[index][_HEADER.size:] for index in indices)
+        raw = np.frombuffer(joined, dtype=np.uint8)
+        raw = raw.reshape(len(indices), payload_bytes)
+        if width % 8 == 0:
+            lane_bytes = width // 8
+            lanes = np.zeros((len(indices), count, 8), dtype=np.uint8)
+            lanes[:, :, :lane_bytes] = raw.reshape(len(indices), count,
+                                                   lane_bytes)
+            values = lanes.view("<u8")[:, :, 0].astype(np.int64)
+        else:
+            bits = np.unpackbits(raw, axis=1, bitorder="little")
+            if bits[:, count * width:].any():
+                raise ProtocolError(
+                    "coefficient blob has bits set beyond its announced "
+                    f"{count}×{width}-bit payload")
+            weights = np.int64(1) << np.arange(width, dtype=np.int64)
+            values = bits[:, :count * width].astype(np.int64)
+            values = values.reshape(len(indices), count, width) @ weights
+        if flags & _FLAG_ZIGZAG:
+            values = np.where(values & 1,
+                              -((values + 1) >> 1), values >> 1)
+        for row, index in enumerate(indices):
+            result[index] = values[row]
+    return result
 
 
 def split_pages(blob: bytes, page_bytes: int = DEFAULT_PAGE_BYTES) -> List[bytes]:

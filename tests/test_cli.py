@@ -191,3 +191,13 @@ class TestBench:
     def test_bench_concurrency_rejects_zero_sessions(self, capsys):
         assert main(["bench", "--concurrency", "0"]) == 2
         assert "at least one session" in capsys.readouterr().err
+
+    def test_bench_suite_flags_are_mutually_exclusive(self, capsys):
+        assert main(["bench", "--kernels", "--faults"]) == 2
+        err = capsys.readouterr().err
+        assert "--kernels" in err and "--faults" in err
+        assert main(["bench", "--kernels", "--updates"]) == 2
+
+    def test_bench_kernels_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--kernels", "--quick"])
+        assert args.kernels is True and args.quick is True

@@ -4,17 +4,29 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.algebra import numpy_or_none
 from repro.errors import ProtocolError
 from repro.net.pages import (
     DEFAULT_PAGE_BYTES,
     decode_coefficients,
+    decode_coefficients_array,
+    decode_coefficients_batch,
     encode_coefficients,
+    encode_coefficients_array,
     join_pages,
     split_pages,
 )
 
 coefficient_vectors = st.lists(
     st.integers(min_value=-(2 ** 96), max_value=2 ** 96), max_size=80)
+
+#: Vectors whose limbs stay within the array decoders' native 64-bit lane
+#: (zigzag limbs stop at 62 bits, so magnitudes stay below 2^61).
+native_vectors = st.lists(
+    st.integers(min_value=-(2 ** 61) + 1, max_value=2 ** 61 - 1), max_size=80)
+
+numpy_present = pytest.mark.skipif(numpy_or_none() is None,
+                                   reason="numpy not installed")
 
 
 class TestCoefficientCodec:
@@ -63,6 +75,84 @@ class TestCoefficientCodec:
         blob[-1] |= 0x80          # beyond the announced 3x1-bit payload
         with pytest.raises(ProtocolError):
             decode_coefficients(bytes(blob))
+
+
+@numpy_present
+class TestArrayCodec:
+    """The array codecs are byte- and value-identical to the int codec."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(native_vectors)
+    def test_array_decode_matches_reference(self, coeffs):
+        blob = encode_coefficients(coeffs)
+        decoded = decode_coefficients_array(blob)
+        assert decoded is not None
+        assert decoded.tolist() == decode_coefficients(blob) == coeffs
+
+    @settings(max_examples=80, deadline=None)
+    @given(native_vectors)
+    def test_array_encode_is_byte_identical(self, coeffs):
+        np = numpy_or_none()
+        values = np.asarray(coeffs, dtype=np.int64)
+        assert encode_coefficients_array(values) == encode_coefficients(coeffs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(native_vectors, max_size=12))
+    def test_batch_decode_matches_per_blob(self, vectors):
+        blobs = [encode_coefficients(coeffs) for coeffs in vectors]
+        rows = decode_coefficients_batch(blobs)
+        assert rows is not None
+        assert [row.tolist() for row in rows] == vectors
+
+    def test_byte_aligned_and_odd_widths(self):
+        # 8/16-bit limbs take the frombuffer view; 6- and 13-bit limbs the
+        # vectorized unpackbits path.  All four must agree with reference.
+        for values in ([255, 1, 128], [65535, 256, 3],
+                       [i % 53 for i in range(52)], [4097, 8000, 1]):
+            blob = encode_coefficients(values)
+            assert decode_coefficients_array(blob).tolist() == values
+
+    def test_empty_and_all_zero_vectors(self):
+        assert decode_coefficients_array(encode_coefficients([])).tolist() == []
+        assert decode_coefficients_array(
+            encode_coefficients([0] * 9)).tolist() == [0] * 9
+
+    def test_zigzag_negative_values(self):
+        values = [-1, 0, 7, -128, 2 ** 40, -(2 ** 40)]
+        blob = encode_coefficients(values)
+        assert decode_coefficients_array(blob).tolist() == values
+        np = numpy_or_none()
+        assert encode_coefficients_array(
+            np.asarray(values, dtype=np.int64)) == blob
+
+    def test_wide_limbs_fall_back_to_none(self):
+        blob = encode_coefficients([2 ** 90])
+        assert decode_coefficients_array(blob) is None
+        # One wide blob sends the whole batch back to the reference path.
+        narrow = encode_coefficients([1, 2, 3])
+        assert decode_coefficients_batch([narrow, blob]) is None
+        assert decode_coefficients_batch([narrow]) is not None
+
+    def test_wide_encode_falls_back_to_reference(self):
+        # Magnitudes at/beyond 2^62 cannot zigzag in int64; the array
+        # encoder must route them through the int codec, not overflow.
+        np = numpy_or_none()
+        values = np.asarray([-(2 ** 62), 5], dtype=np.int64)
+        assert (encode_coefficients_array(values)
+                == encode_coefficients([-(2 ** 62), 5]))
+        assert (encode_coefficients_array([2 ** 90, -1])
+                == encode_coefficients([2 ** 90, -1]))
+
+    def test_corruption_still_raises(self):
+        blob = encode_coefficients([5, 6, 7])
+        with pytest.raises(ProtocolError):
+            decode_coefficients_array(blob[:-1])
+        with pytest.raises(ProtocolError):
+            decode_coefficients_batch([blob, blob[:-1]])
+        stray = bytearray(encode_coefficients([1, 1, 1]))
+        stray[-1] |= 0x80
+        with pytest.raises(ProtocolError):
+            decode_coefficients_array(bytes(stray))
 
 
 class TestPaging:
