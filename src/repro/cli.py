@@ -19,6 +19,8 @@ Usage::
     python -m repro.cli bench --concurrency 16 --out BENCH_3.json
     python -m repro.cli bench --updates --out BENCH_4.json
     python -m repro.cli serve server.json --port 9653 --async
+    python -m repro.cli edit client.json rename 5 --tag price --port 9653
+    python -m repro.cli edit client.json insert 2 --xml "<note/>" --port 9653
     python -m repro.cli migrate-store server.db
 """
 
@@ -117,6 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--document-id", default=None,
                        help="host the document under this id "
                             "(default: the v1-compatible default document)")
+
+    edit = commands.add_parser(
+        "edit", help="edit a *served* document over the wire (v3 update "
+                     "protocol with transparent conflict rebase)")
+    edit.add_argument("client_file",
+                      help="the client secret state written by `outsource`")
+    edit.add_argument("operation", choices=["insert", "delete", "rename"],
+                      help="which mutation to apply")
+    edit.add_argument("node_id", type=int,
+                      help="target node: the insert parent, the root of the "
+                           "subtree to delete, or the node to rename")
+    edit.add_argument("--xml", default=None,
+                      help="plaintext subtree to insert (insert only)")
+    edit.add_argument("--tag", default=None,
+                      help="the new tag name (rename only)")
+    edit.add_argument("--host", default="127.0.0.1",
+                      help="server host (default: 127.0.0.1)")
+    edit.add_argument("--port", type=int, default=9653,
+                      help="server TCP port (default: 9653)")
+    edit.add_argument("--document-id", default=None,
+                      help="address this hosted document id "
+                           "(default: the server's default document)")
+    edit.add_argument("--max-rebases", type=int, default=4,
+                      help="conflict rounds to absorb by refetch-and-rebase "
+                           "before giving up (default: 4)")
 
     migrate = commands.add_parser(
         "migrate-store",
@@ -259,6 +286,46 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_edit(args: argparse.Namespace) -> int:
+    from .net import RemoteUpdatableTree, connect_socket, ring_from_dict
+    from .xmltree import parse_element
+
+    if args.operation == "insert" and not args.xml:
+        raise ReproError("insert needs --xml with the subtree to add")
+    if args.operation == "rename" and not args.tag:
+        raise ReproError("rename needs --tag with the new tag name")
+
+    # The ring travels inside the client state, so editing needs no local
+    # copy of the server file — only the live session.
+    with open(args.client_file, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    ring = ring_from_dict(state["ring"])
+    client = ClientContext.from_secret_state(ring, state["secrets"])
+
+    adapter, channel = connect_socket(args.host, args.port, ring,
+                                      document_id=args.document_id)
+    try:
+        editor = RemoteUpdatableTree(adapter, client.mapping,
+                                     client.share_generator,
+                                     max_rebases=args.max_rebases)
+        if args.operation == "insert":
+            report = editor.insert_subtree(args.node_id,
+                                           parse_element(args.xml))
+        elif args.operation == "delete":
+            report = editor.delete_subtree(args.node_id)
+        else:
+            report = editor.rename_node(args.node_id, args.tag)
+    finally:
+        channel.close()
+
+    summary = ", ".join(f"{key}={value}"
+                        for key, value in report.as_dict().items())
+    print(f"committed: {summary}")
+    if editor.rebases:
+        print(f"rebased {editor.rebases} time(s) around concurrent writers")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import SearchServer, ThreadedSearchServer, start_async_server
 
@@ -387,6 +454,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
     "serve": _cmd_serve,
+    "edit": _cmd_edit,
     "migrate-store": _cmd_migrate_store,
     "bench": _cmd_bench,
 }

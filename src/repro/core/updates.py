@@ -33,6 +33,16 @@ in-memory backend the batch is simply applied in one go.  Passing a
 ``lock`` (e.g. a :class:`~repro.net.engine.HostedDocument`'s document
 lock) additionally serialises each whole operation against concurrent
 query traffic on the same store.
+
+**Remote editing.**  Nothing in the planner assumes the store is local:
+``server_tree`` only needs the read surface of a
+:class:`~repro.net.store.ShareStore` plus a ``transaction()``.
+:class:`~repro.net.client.RemoteUpdatableTree` exploits exactly that — it
+substitutes a client-side mirror of a *hosted* document, and the batch
+each operation records here travels to the server as one v3
+:class:`~repro.net.messages.UpdateRequest` instead of being applied
+in-process.  The arithmetic is identical either way, which is what makes
+the remote and in-process paths bit-identical by construction.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ __all__ = [
     "TransientServerError",
     "ServerBusyError",
     "RetryExhaustedError",
+    "UpdateConflictError",
     "QueryError",
     "XmlParseError",
     "XPathSyntaxError",
@@ -118,6 +119,26 @@ class ServerBusyError(TransientServerError):
 
 class RetryExhaustedError(ProtocolError):
     """A resilient client gave up: deadline, attempt cap or budget spent."""
+
+
+class UpdateConflictError(ProtocolError):
+    """A v3 update batch was rejected because its base versions are stale.
+
+    Raised client-side from a
+    :class:`~repro.net.messages.ConflictResponse`.  ``conflicts`` names
+    the node ids another writer changed first; ``versions`` carries the
+    server's current version for each conflicting node that still exists
+    (a conflicting id absent from ``versions`` was removed).  Nothing was
+    applied server-side — the caller refetches the conflicting subtrees
+    and rebase-retries, which :class:`~repro.net.client.RemoteUpdatableTree`
+    does automatically up to its rebase cap.
+    """
+
+    def __init__(self, message: str, conflicts=(), versions=None) -> None:
+        super().__init__(message)
+        self.conflicts = sorted(int(n) for n in conflicts)
+        self.versions = {int(k): int(v)
+                         for k, v in (versions or {}).items()}
 
 
 class QueryError(ReproError):

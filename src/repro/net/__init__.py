@@ -1,10 +1,12 @@
-"""Instrumented client/server transport: protocol messages (v1 + batched
-v2), byte-counting channels (in-process and real sockets), length-prefixed
-framing, the transport-agnostic serving core with multi-document tenancy,
-admission control and idempotent replay, pluggable share-store backends,
-the sync/threaded and asyncio socket servers, the client-side proxies,
-and the fault-tolerance layer (deterministic fault injection plus the
-retrying, reconnecting resilient client)."""
+"""Instrumented client/server transport: protocol messages (v1, batched
+v2, update-capable v3), byte-counting channels (in-process and real
+sockets), length-prefixed framing, the transport-agnostic serving core
+with multi-document tenancy, admission control, idempotent replay and
+version-checked update batches, pluggable share-store backends, the
+sync/threaded and asyncio socket servers, the client-side proxies
+(including the remote editor with conflict rebase), and the
+fault-tolerance layer (deterministic fault injection plus the retrying,
+reconnecting resilient client)."""
 
 from .aio import (
     AsyncSearchServer,
@@ -13,7 +15,13 @@ from .aio import (
     start_async_server,
 )
 from .channel import ChannelStats, InstrumentedChannel, LatencyModel, SocketChannel
-from .client import RemoteServerAdapter, connect, connect_in_process, connect_socket
+from .client import (
+    RemoteServerAdapter,
+    RemoteUpdatableTree,
+    connect,
+    connect_in_process,
+    connect_socket,
+)
 from .engine import (
     DEFAULT_DOCUMENT,
     DocumentRegistry,
@@ -39,8 +47,11 @@ from .messages import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
     BusyResponse,
+    ConflictResponse,
     ErrorResponse,
     Message,
+    UpdateRequest,
+    UpdateResponse,
     decode_message,
 )
 from .retry import (
@@ -77,6 +88,9 @@ __all__ = [
     "Message",
     "BusyResponse",
     "ErrorResponse",
+    "UpdateRequest",
+    "UpdateResponse",
+    "ConflictResponse",
     "decode_message",
     "FAULT_KINDS",
     "FaultRule",
@@ -106,6 +120,7 @@ __all__ = [
     "AsyncServerHandle",
     "start_async_server",
     "RemoteServerAdapter",
+    "RemoteUpdatableTree",
     "connect",
     "connect_in_process",
     "connect_socket",

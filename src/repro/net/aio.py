@@ -5,10 +5,15 @@ This module is the serving tentpole on top of the transport-agnostic
 
 * :class:`AsyncSearchServer` multiplexes many client sessions over one
   event loop.  Frames are length-prefixed (:mod:`repro.net.framing`) and
-  carry the unchanged v1/v2 message encodings, so any framed client —
+  carry the unchanged v1–v3 message encodings, so any framed client —
   the blocking :class:`~repro.net.channel.SocketChannel`, the async
   :class:`AsyncServerInterface`, or a from-spec implementation of
-  ``docs/protocol.md`` — talks to it.
+  ``docs/protocol.md`` — talks to it.  v3 update batches
+  (:class:`~repro.net.messages.UpdateRequest`) need no transport support
+  of their own: they route through the executor like any non-frontier
+  request and serialise on the document lock inside
+  :class:`~repro.net.engine.ServingCore`, so a coalesced tick never
+  observes a half-applied batch.
 
 * The headline optimisation: concurrent
   :class:`~repro.net.messages.FrontierRequest` s are not handled one by
@@ -593,6 +598,34 @@ class AsyncServerInterface:
             self._pending_prune.extend(node_ids)
             return
         await self._request(PruneNotice(node_ids), Message)
+
+    async def update(self, request: "Message") -> "Message":
+        """Send one v3 update batch; returns the UpdateResponse.
+
+        The async twin of
+        :meth:`~repro.net.client.RemoteServerAdapter.apply_update`: a
+        :class:`~repro.net.messages.ConflictResponse` raises
+        :class:`~repro.errors.UpdateConflictError` with the conflicting
+        ids and current versions, an in-band error raises its mapped
+        exception, anything else must be an
+        :class:`~repro.net.messages.UpdateResponse`.
+        """
+        from ..errors import UpdateConflictError
+        from .messages import ConflictResponse, UpdateResponse
+
+        if self.protocol_version < 3:
+            raise ProtocolError(
+                f"remote updates need protocol v3; this session negotiated "
+                f"v{self.protocol_version}")
+        response = await self._request(request, Message)
+        if isinstance(response, ConflictResponse):
+            raise UpdateConflictError(
+                f"update batch rejected: nodes {response.conflicts} changed "
+                "under this client (refetch and rebase)",
+                conflicts=response.conflicts, versions=response.versions)
+        if not isinstance(response, UpdateResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response
 
     def begin_frontier(self, node_ids: Sequence[int], points: Sequence[int],
                        prune: Sequence[int] = (),

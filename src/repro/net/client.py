@@ -14,6 +14,19 @@ and piggyback prune notices on the next outgoing request; version-1
 sessions reproduce the original request-per-kind exchange byte for byte.
 Every message is stamped with the session's document id, so one server —
 and one channel — can serve many tenants.
+
+Version-3 sessions can also *edit* the hosted document:
+:class:`RemoteUpdatableTree` mirrors the
+:class:`~repro.core.updates.UpdatableTree` API over the wire.  It keeps a
+local structure mirror (:class:`_RemoteStoreMirror`) fed by the ordinary
+read messages, computes every new share client-side exactly as the
+in-process editor does, and pushes each operation as one
+:class:`~repro.net.messages.UpdateRequest` batch.  When the server
+answers with a :class:`~repro.net.messages.ConflictResponse` (another
+writer touched an overlapping path first), the tree refetches the
+conflicting state and transparently rebases — recomputing the operation
+against the fresh state and resending — up to ``max_rebases`` times
+before surfacing :class:`~repro.errors.UpdateConflictError`.
 """
 
 from __future__ import annotations
@@ -23,7 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..algebra.poly import Polynomial
 from ..core.query import FrontierResult, ServerInterface
 from ..core.share_tree import ServerShareTree
-from ..errors import ProtocolError
+from ..core.updates import UpdatableTree
+from ..errors import ProtocolError, SharingError, UpdateConflictError
 from .channel import InstrumentedChannel, LatencyModel, SocketChannel
 from .messages import (
     SUPPORTED_PROTOCOL_VERSIONS,
@@ -31,6 +45,8 @@ from .messages import (
     BlobResponse,
     ChildrenRequest,
     ChildrenResponse,
+    ConflictResponse,
+    ErrorResponse,
     EvaluateRequest,
     EvaluateResponse,
     FetchConstantsRequest,
@@ -45,12 +61,14 @@ from .messages import (
     PruneNotice,
     StructureRequest,
     StructureResponse,
+    UpdateRequest,
+    UpdateResponse,
 )
 from .server import SearchServer
 from .store import ShareStore
 
-__all__ = ["RemoteServerAdapter", "connect", "connect_in_process",
-           "connect_socket"]
+__all__ = ["RemoteServerAdapter", "RemoteUpdatableTree", "connect",
+           "connect_in_process", "connect_socket"]
 
 
 class RemoteServerAdapter(ServerInterface):
@@ -197,11 +215,359 @@ class RemoteServerAdapter(ServerInterface):
         children = {node_id: response.children[node_id] for node_id in node_ids}
         return children, data, 1
 
+    # -- v3 updates -----------------------------------------------------------------
+    def apply_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Send one v3 update batch; returns the commit confirmation.
+
+        A :class:`~repro.net.messages.ConflictResponse` surfaces as
+        :class:`~repro.errors.UpdateConflictError` (carrying the
+        conflicting ids and their current versions); an in-band error
+        frame as :class:`~repro.errors.ProtocolError` — matching what the
+        in-process channel would have raised, so both transports behave
+        identically.
+        """
+        if self.protocol_version < 3:
+            raise ProtocolError(
+                f"remote updates need protocol v3; this session negotiated "
+                f"v{self.protocol_version}")
+        response = self._request(request, Message)
+        if isinstance(response, ErrorResponse):
+            raise ProtocolError(response.error)
+        if isinstance(response, ConflictResponse):
+            raise UpdateConflictError(
+                f"update batch rejected: nodes {response.conflicts} changed "
+                "under this client (refetch and rebase)",
+                conflicts=response.conflicts, versions=response.versions)
+        if not isinstance(response, UpdateResponse):
+            raise ProtocolError(f"unexpected response {response.kind!r}")
+        return response
+
     # -- extras used by baselines -------------------------------------------------------
     def download_blob(self) -> bytes:
         """Fetch the server's whole encrypted blob (download-all baseline)."""
         response = self._request(BlobRequest(), BlobResponse)
         return response.blob
+
+
+class _RemoteStoreMirror(ShareStore):
+    """A client-side :class:`~repro.net.store.ShareStore` view of a hosted document.
+
+    Reads are served from a locally mirrored structure (built with the
+    ordinary ``children`` messages) and a lazily fetched share cache, so
+    the in-process update planner can run against it unchanged.  Writes
+    only exist as whole batches: :meth:`apply_batch` — the hook a
+    :class:`~repro.net.store.StoreTransaction` commits through — turns
+    the buffered ops into one :class:`~repro.net.messages.UpdateRequest`,
+    sends it, and folds the committed batch into the mirror.  The mirror
+    also tracks the per-node versions the server reported, which become
+    the ``base_versions`` vector of the next batch.
+    """
+
+    #: Node ids per children/fetch request while mirroring structure.
+    CHUNK = 4096
+
+    def __init__(self, server: "RemoteServerAdapter") -> None:
+        self.server = server
+        self.ring = server.ring
+        #: Last server-confirmed version per node (absent = 0).
+        self.versions: Dict[int, int] = {}
+        #: Label stamped on the next update batch (set by the editor).
+        self.operation = "batch"
+        self._parents: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._root: Optional[int] = None
+        self._shares: Dict[int, Polynomial] = {}
+        self.refresh()
+
+    # -- mirroring ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-mirror the whole public structure and drop the share cache.
+
+        Called at construction and after every conflict: anything another
+        writer may have changed (structure and shares alike) is refetched
+        on demand against the server's current state.  Confirmed versions
+        are kept — they are what the server told us, not what we cached.
+        """
+        parents: Dict[int, Optional[int]] = {}
+        children: Dict[int, List[int]] = {}
+        root = self.server.root_id()
+        parents[root] = None
+        frontier = [root]
+        while frontier:
+            chunk, frontier = frontier[:self.CHUNK], frontier[self.CHUNK:]
+            for node_id, child_ids in self.server.children_of(chunk).items():
+                children[node_id] = list(child_ids)
+                for child in child_ids:
+                    parents[child] = node_id
+                frontier.extend(child_ids)
+        self._parents = parents
+        self._children = children
+        self._root = root
+        self._shares = {}
+        self.versions = {nid: v for nid, v in self.versions.items()
+                         if nid in parents}
+
+    def prefetch(self, node_ids: Sequence[int]) -> None:
+        """Bulk-fetch the shares of these nodes into the cache (one pass)."""
+        missing = sorted({int(n) for n in node_ids
+                          if n not in self._shares and n in self._parents})
+        while missing:
+            chunk, missing = missing[:self.CHUNK], missing[self.CHUNK:]
+            self._shares.update(self._fetch_shares(chunk))
+
+    def _fetch_shares(self, node_ids: Sequence[int]) -> Dict[int, Polynomial]:
+        """Fetch shares the mirror believes exist; staleness is a conflict.
+
+        A server that refuses to serve a share for a node the mirrored
+        structure still contains means another writer removed it since the
+        mirror was built — the *read-side* face of a version conflict, so
+        it raises :class:`~repro.errors.UpdateConflictError` and the
+        editor's rebase loop re-mirrors and retries.  Transport-level and
+        transient failures keep their own types (a resilient channel
+        handles those below us).
+        """
+        from ..errors import (
+            RetryExhaustedError,
+            TransientServerError,
+            TransportError,
+        )
+        try:
+            return self.server.fetch_polynomials(node_ids)
+        except (TransportError, TransientServerError, RetryExhaustedError,
+                UpdateConflictError):
+            raise
+        except (SharingError, ProtocolError) as exc:
+            raise UpdateConflictError(
+                f"the hosted document changed under this client while "
+                f"fetching shares ({exc}); refetch and rebase",
+                conflicts=[n for n in node_ids]) from exc
+
+    # -- read side (served from the mirror) -------------------------------------------
+    @property
+    def root_id(self) -> Optional[int]:
+        return self._root
+
+    def node_count(self) -> int:
+        return len(self._parents)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._parents)
+
+    def child_ids(self, node_id: int) -> List[int]:
+        try:
+            return list(self._children[node_id])
+        except KeyError:
+            raise SharingError(f"unknown node id {node_id}") from None
+
+    def parent_id(self, node_id: int) -> Optional[int]:
+        try:
+            return self._parents[node_id]
+        except KeyError:
+            raise SharingError(f"unknown node id {node_id}") from None
+
+    def share_of(self, node_id: int) -> Polynomial:
+        share = self._shares.get(node_id)
+        if share is None:
+            if node_id not in self._parents:
+                raise SharingError(f"unknown node id {node_id}")
+            share = self._fetch_shares([node_id])[node_id]
+            self._shares[node_id] = share
+        return share
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._parents
+
+    # -- write side (whole batches only) ----------------------------------------------
+    def add_node(self, node_id: int, parent_id: Optional[int],
+                 share: Polynomial) -> None:
+        raise ProtocolError(
+            "a remote store applies mutations as whole update batches; "
+            "use a transaction()")
+
+    replace_share = add_node
+    remove_subtree = add_node  # type: ignore[assignment]
+
+    def apply_batch(self, ops: Sequence[tuple]) -> None:
+        """Ship one recorded batch as an UpdateRequest and commit the mirror.
+
+        The base versions the batch rode on cover its full write set: the
+        replaced nodes (which include every rewritten ancestor up to the
+        root), the removal targets, and the pre-existing parents of added
+        nodes — so the server's check catches *any* concurrent writer,
+        whose own ancestor rewrites necessarily overlap at those nodes.
+        Raises :class:`~repro.errors.UpdateConflictError` (nothing
+        applied, mirror untouched) when the batch lost such a race.
+        """
+        wire_ops: List[List[object]] = []
+        added: set = set()
+        base_ids: set = set()
+        for op in ops:
+            if op[0] == "add":
+                _, node_id, parent_id, share = op
+                wire_ops.append(["add", node_id, parent_id,
+                                 [int(c) for c in share.coeffs]])
+                if parent_id is not None and parent_id not in added:
+                    base_ids.add(parent_id)
+                added.add(node_id)
+            elif op[0] == "replace":
+                _, node_id, share = op
+                wire_ops.append(["replace", node_id,
+                                 [int(c) for c in share.coeffs]])
+                if node_id not in added:
+                    base_ids.add(node_id)
+            else:
+                _, node_id, expected = op
+                wire_ops.append(["remove", node_id, list(expected)])
+                base_ids.add(node_id)
+        base = {nid: self.versions.get(nid, 0) for nid in sorted(base_ids)}
+        request = UpdateRequest(self.operation, wire_ops, base)
+        response = self.server.apply_update(request)
+
+        # Committed server-side: fold the batch into the mirror so the
+        # next operation plans against the post-batch state.
+        for op in ops:
+            if op[0] == "add":
+                _, node_id, parent_id, share = op
+                self._parents[node_id] = parent_id
+                self._children[node_id] = []
+                if parent_id is None:
+                    self._root = node_id
+                else:
+                    self._children[parent_id].append(node_id)
+                self._shares[node_id] = share
+            elif op[0] == "replace":
+                _, node_id, share = op
+                self._shares[node_id] = share
+            else:
+                _, node_id, removed = op
+                parent = self._parents.get(node_id)
+                if parent is not None and node_id in self._children.get(parent, ()):
+                    self._children[parent].remove(node_id)
+                for removed_id in removed:
+                    self._parents.pop(removed_id, None)
+                    self._children.pop(removed_id, None)
+                    self._shares.pop(removed_id, None)
+                    self.versions.pop(removed_id, None)
+        self.versions.update(response.versions)
+
+    def __repr__(self) -> str:
+        return (f"<_RemoteStoreMirror nodes={len(self._parents)} "
+                f"cached_shares={len(self._shares)}>")
+
+
+class RemoteUpdatableTree(UpdatableTree):
+    """Edit a hosted document over the wire with transparent rebase.
+
+    The full :class:`~repro.core.updates.UpdatableTree` API — insert,
+    delete, rename, share refresh — against a v3 session
+    (:class:`RemoteServerAdapter` or the resilient subclass from
+    :mod:`repro.net.retry`, so reconnect/replay under faults comes for
+    free).  Each operation plans against a local mirror of the hosted
+    document, then commits as **one** idempotent
+    :class:`~repro.net.messages.UpdateRequest`.  When the server reports
+    a version conflict, the tree merges the reported versions, re-mirrors
+    the document, recomputes the operation against the fresh state and
+    resends — up to ``max_rebases`` times.  The conflict only surfaces as
+    :class:`~repro.errors.UpdateConflictError` when the operation's
+    anchor node was removed by another writer (the operation is
+    meaningless now) or the rebase budget is spent.
+    """
+
+    def __init__(self, server: RemoteServerAdapter, mapping, client_shares,
+                 max_rebases: int = 4) -> None:
+        if server.protocol_version < 3:
+            raise ProtocolError(
+                f"remote editing needs protocol v3; this session negotiated "
+                f"v{server.protocol_version}")
+        self.server = server
+        self.mirror = _RemoteStoreMirror(server)
+        #: Conflict rounds one operation may absorb before giving up.
+        self.max_rebases = int(max_rebases)
+        #: Total rebase rounds performed over this tree's lifetime.
+        self.rebases = 0
+        super().__init__(server.ring, mapping, client_shares, self.mirror)
+
+    # -- rebase loop ------------------------------------------------------------------
+    def _run_rebasing(self, operation: str, anchor_ids: Sequence[int],
+                      attempt):
+        self.mirror.operation = operation
+        remaining = self.max_rebases
+        while True:
+            try:
+                return attempt()
+            except UpdateConflictError as exc:
+                if remaining <= 0:
+                    raise
+                remaining -= 1
+                self.rebases += 1
+                self.mirror.versions.update(exc.versions)
+                self.mirror.refresh()
+                gone = [nid for nid in anchor_ids if nid not in self.mirror]
+                if gone:
+                    raise UpdateConflictError(
+                        f"cannot rebase {operation!r}: nodes {gone} were "
+                        "removed by another writer",
+                        conflicts=exc.conflicts, versions=exc.versions
+                    ) from exc
+
+    def _prefetch_paths(self, node_ids: Sequence[int],
+                        with_children: bool = False) -> None:
+        """Warm the share cache for the nodes an operation will read.
+
+        ``with_children`` additionally pulls every child of every path
+        node — what tag recovery (Theorem 1/2) reads — so a whole
+        operation costs O(1) fetch round trips instead of one per share.
+        """
+        wanted: List[int] = []
+        for node_id in node_ids:
+            if node_id not in self.mirror:
+                return          # let the operation raise its usual error
+            path = [node_id] + [*self._mirror_ancestors(node_id)]
+            wanted.extend(path)
+            if with_children:
+                for member in path:
+                    wanted.extend(self.mirror.child_ids(member))
+        self.mirror.prefetch(wanted)
+
+    def _mirror_ancestors(self, node_id: int) -> List[int]:
+        path: List[int] = []
+        current = self.mirror.parent_id(node_id)
+        while current is not None:
+            path.append(current)
+            current = self.mirror.parent_id(current)
+        return path
+
+    # -- public operations (wire-committed, rebase on conflict) -----------------------
+    def insert_subtree(self, parent_id: int, element) -> "UpdateReport":
+        """Insert a plaintext subtree under ``parent_id`` on the server."""
+        def attempt():
+            self._prefetch_paths([parent_id])
+            return UpdatableTree.insert_subtree(self, parent_id, element)
+        return self._run_rebasing("insert", [parent_id], attempt)
+
+    def delete_subtree(self, node_id: int) -> "UpdateReport":
+        """Delete the subtree rooted at ``node_id`` on the server."""
+        def attempt():
+            parent = (self.mirror.parent_id(node_id)
+                      if node_id in self.mirror else None)
+            if parent is not None:
+                self._prefetch_paths([parent], with_children=True)
+            return UpdatableTree.delete_subtree(self, node_id)
+        return self._run_rebasing("delete", [node_id], attempt)
+
+    def rename_node(self, node_id: int, new_tag: str) -> "UpdateReport":
+        """Rename ``node_id`` to ``new_tag`` on the server."""
+        def attempt():
+            self._prefetch_paths([node_id], with_children=True)
+            return UpdatableTree.rename_node(self, node_id, new_tag)
+        return self._run_rebasing("rename", [node_id], attempt)
+
+    def refresh_shares(self, new_generator) -> "UpdateReport":
+        """Re-randomise every share on the server under a new client seed."""
+        def attempt():
+            self.mirror.prefetch(self.mirror.node_ids())
+            return UpdatableTree.refresh_shares(self, new_generator)
+        return self._run_rebasing("refresh", [], attempt)
 
 
 def connect(server: SearchServer, document_id: Optional[str] = None,

@@ -49,6 +49,7 @@ from .messages import (
     BusyResponse,
     ChildrenRequest,
     ChildrenResponse,
+    ConflictResponse,
     ErrorResponse,
     EvaluateRequest,
     EvaluateResponse,
@@ -64,6 +65,8 @@ from .messages import (
     PruneNotice,
     StructureRequest,
     StructureResponse,
+    UpdateRequest,
+    UpdateResponse,
     decode_message,
 )
 from .store import ShareStore, as_share_store
@@ -79,6 +82,22 @@ __all__ = [
 
 #: Document id used when a client does not name one (v1 compatibility).
 DEFAULT_DOCUMENT = "default"
+
+
+class _UpdateConflict(Exception):
+    """Internal: abort an update transaction that turned out conflicting.
+
+    Raised *inside* the ``with store.transaction()`` block so the buffered
+    batch is discarded without touching the store (application happens on
+    clean exit only), then translated into a
+    :class:`~repro.net.messages.ConflictResponse`.  Deliberately not a
+    :class:`~repro.errors.ReproError`: it must never escape the handler
+    as an in-band error.
+    """
+
+    def __init__(self, conflicts: Sequence[int]) -> None:
+        super().__init__(f"conflicting nodes {sorted(conflicts)}")
+        self.conflicts = [int(n) for n in conflicts]
 
 
 class ServerObservations:
@@ -110,7 +129,8 @@ class ServerObservations:
 class HostedDocument:
     """One outsourced document inside a server: store + lock + observations."""
 
-    __slots__ = ("document_id", "store", "lock", "observations", "encrypted_blob")
+    __slots__ = ("document_id", "store", "lock", "observations",
+                 "encrypted_blob", "versions", "update_log")
 
     def __init__(self, document_id: str, store: ShareStore,
                  encrypted_blob: Optional[bytes] = None) -> None:
@@ -122,6 +142,17 @@ class HostedDocument:
         self.observations = ServerObservations()
         #: Optional opaque blob served to download-everything clients.
         self.encrypted_blob = encrypted_blob
+        #: Per-node version counters for v3 multi-writer conflict detection.
+        #: A node absent from the map is at version 0; every committed
+        #: update batch bumps the versions of the nodes it added or
+        #: replaced and drops the nodes it removed.  Versions live with
+        #: the *hosting*, not the store file — a fresh hosting starts
+        #: every node at 0, matching clients that mirror it from scratch.
+        self.versions: Dict[int, int] = {}
+        #: ``(request_id, operation, op_count)`` per *committed* update
+        #: batch, in commit order — the audit trail the chaos suite uses
+        #: to prove a replayed update applied at most once.
+        self.update_log: List[Tuple[Optional[str], str, int]] = []
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Any]:
@@ -387,6 +418,8 @@ class ServingCore:
                 return self._handle_fetch_constants(document, message)
             if isinstance(message, PruneNotice):
                 return self._handle_prune(document, message)
+            if isinstance(message, UpdateRequest):
+                return self._handle_update(document, message)
             if isinstance(message, BlobRequest):
                 return self._handle_blob(document)
         raise ProtocolError(f"the server cannot handle {message.kind!r} requests")
@@ -668,6 +701,63 @@ class ServingCore:
                       message: PruneNotice) -> Acknowledgement:
         self._observe_prune(document, message.node_ids)
         return Acknowledgement()
+
+    def _handle_update(self, document: HostedDocument,
+                       message: UpdateRequest) -> Message:
+        """Apply one v3 mutation batch, or reject it with a conflict.
+
+        Runs under the document lock (via :meth:`_dispatch_locked`), so
+        the base-version check and the batch application are one atomic
+        step with respect to every other writer and every query handler.
+        The batch goes through the store's transactional path — on the
+        durable backend that means the PR 5 write-ahead log, so a crash
+        mid-batch still tears nothing.  Nothing is applied on conflict.
+        """
+        store = document.store
+        versions = document.versions
+        stale: Dict[int, Optional[int]] = {}
+        for node_id, base in message.base_versions.items():
+            if node_id not in store:
+                stale[node_id] = None          # removed by another writer
+            elif versions.get(node_id, 0) != base:
+                stale[node_id] = versions.get(node_id, 0)
+        if stale:
+            return ConflictResponse(
+                stale, {nid: current for nid, current in stale.items()
+                        if current is not None})
+        ring = store.ring
+        try:
+            with store.transaction() as txn:
+                for op in message.ops:
+                    if op[0] == "add":
+                        txn.add_node(op[1], op[2],
+                                     ring.from_coefficients(op[3]))
+                    elif op[0] == "replace":
+                        txn.replace_share(op[1], ring.from_coefficients(op[2]))
+                    else:
+                        removed = txn.remove_subtree(op[1])
+                        if sorted(removed) != sorted(op[2]):
+                            # The subtree gained or lost members since the
+                            # client computed the batch: a structural
+                            # conflict, not a protocol violation.
+                            raise _UpdateConflict([op[1]])
+        except _UpdateConflict as exc:
+            return ConflictResponse(
+                exc.conflicts,
+                {nid: versions.get(nid, 0) for nid in exc.conflicts
+                 if nid in store})
+        new_versions: Dict[int, int] = {}
+        for op in message.ops:
+            if op[0] in ("add", "replace"):
+                versions[op[1]] = versions.get(op[1], 0) + 1
+                new_versions[op[1]] = versions[op[1]]
+            else:
+                for removed_id in op[2]:
+                    versions.pop(removed_id, None)
+                    new_versions.pop(removed_id, None)
+        document.update_log.append(
+            (message.request_id, message.operation, len(message.ops)))
+        return UpdateResponse(new_versions, applied=len(message.ops))
 
     def _handle_blob(self, document: HostedDocument) -> BlobResponse:
         if document.encrypted_blob is None:

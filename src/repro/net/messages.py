@@ -17,6 +17,14 @@ Two protocol generations coexist:
   carries evaluate + children + verification fetches + prune notices for a
   whole frontier round in one exchange — O(depth) round trips per lookup
   instead of O(depth × request kinds).
+* **v3** — adds the update triplet: :class:`UpdateRequest` carries one
+  whole mutation batch (the ops recorded by a
+  :class:`~repro.net.store.StoreTransaction`, in wire form) plus the
+  client's base version vector over every node the batch touches;
+  :class:`UpdateResponse` confirms a committed batch and returns the new
+  per-node versions; :class:`ConflictResponse` rejects a batch whose base
+  versions no longer match (another writer got there first) and names the
+  conflicting node ids so the client can refetch and rebase.
 
 Every message additionally carries an optional ``document_id`` so one
 server can host many outsourced documents; omitting it (the v1 encoding)
@@ -64,6 +72,9 @@ __all__ = [
     "FetchConstantsRequest",
     "FetchConstantsResponse",
     "PruneNotice",
+    "UpdateRequest",
+    "UpdateResponse",
+    "ConflictResponse",
     "Acknowledgement",
     "ErrorResponse",
     "BusyResponse",
@@ -73,10 +84,10 @@ __all__ = [
 ]
 
 #: Newest protocol generation this build speaks.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Every generation this build can serve (negotiated in the hello exchange).
-SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2, 3)
 
 
 def _int_keyed(mapping: Dict[Any, Any]) -> Dict[int, Any]:
@@ -444,6 +455,118 @@ class PruneNotice(Message):
         return cls(body["node_ids"])
 
 
+#: Wire op tags an :class:`UpdateRequest` batch may carry, with arity.
+_UPDATE_OP_SHAPES = {"add": 4, "replace": 3, "remove": 3}
+
+
+def _check_update_ops(ops: Sequence[Sequence[Any]]) -> List[List[Any]]:
+    checked: List[List[Any]] = []
+    for op in ops:
+        op = list(op)
+        if not op or op[0] not in _UPDATE_OP_SHAPES:
+            raise ValueError(f"unknown update op {op[:1]!r}")
+        if len(op) != _UPDATE_OP_SHAPES[op[0]]:
+            raise ValueError(f"malformed {op[0]!r} update op: {op!r}")
+        if op[0] == "add":
+            checked.append(["add", int(op[1]), int(op[2]),
+                            [int(c) for c in op[3]]])
+        elif op[0] == "replace":
+            checked.append(["replace", int(op[1]), [int(c) for c in op[2]]])
+        else:
+            checked.append(["remove", int(op[1]), [int(n) for n in op[2]]])
+    return checked
+
+
+class UpdateRequest(Message):
+    """Apply one mutation batch to the hosted document (v3).
+
+    ``ops`` is the wire form of the batch a
+    :class:`~repro.net.store.StoreTransaction` would record, in order:
+
+    * ``["add", node_id, parent_id, coeffs]`` — attach a new node holding
+      the given server-share coefficients,
+    * ``["replace", node_id, coeffs]`` — overwrite an existing share,
+    * ``["remove", node_id, expected_removed_ids]`` — drop a whole
+      subtree; the expected id list pins the subtree shape the client
+      computed against.
+
+    ``base_versions`` maps every node id whose current state the batch was
+    computed from to the version the client last saw (0 for a node it has
+    never seen change).  The server applies the batch only if every base
+    version still matches; otherwise it answers
+    :class:`ConflictResponse` and nothing is applied.  ``operation`` is a
+    free-form label (e.g. ``"insert_subtree"``) used for observability
+    only.
+    """
+
+    kind = "update"
+
+    def __init__(self, operation: str, ops: Sequence[Sequence[Any]],
+                 base_versions: Dict[int, int]) -> None:
+        self.operation = str(operation)
+        self.ops = _check_update_ops(ops)
+        self.base_versions = {int(k): int(v) for k, v in base_versions.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"operation": self.operation, "ops": self.ops,
+                "base": {str(k): v for k, v in self.base_versions.items()}}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "UpdateRequest":
+        return cls(body["operation"], body["ops"], _int_keyed(body["base"]))
+
+
+class UpdateResponse(Message):
+    """The batch committed; carries the new per-node versions (v3).
+
+    ``versions`` holds the post-commit version of every node the batch
+    added or replaced (removed nodes simply disappear from the server's
+    version vector).  ``applied`` echoes the op count, mostly so the
+    client can sanity-check that the response answers the request it sent.
+    """
+
+    kind = "update-ok"
+
+    def __init__(self, versions: Dict[int, int], applied: int) -> None:
+        self.versions = {int(k): int(v) for k, v in versions.items()}
+        self.applied = int(applied)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"versions": {str(k): v for k, v in self.versions.items()},
+                "applied": self.applied}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "UpdateResponse":
+        return cls(_int_keyed(body["versions"]), body["applied"])
+
+
+class ConflictResponse(Message):
+    """The batch was rejected: its base versions are stale (v3).
+
+    ``conflicts`` names every node id whose base version no longer
+    matches (sorted, so the encoding is deterministic).  ``versions``
+    carries the server's *current* version for each conflicting node that
+    still exists — a conflicting id absent from ``versions`` was removed
+    by another writer.  Nothing was applied; the client refetches the
+    conflicting subtrees, recomputes its batch and resends.
+    """
+
+    kind = "conflict"
+
+    def __init__(self, conflicts: Sequence[int],
+                 versions: Dict[int, int]) -> None:
+        self.conflicts = sorted(int(n) for n in conflicts)
+        self.versions = {int(k): int(v) for k, v in versions.items()}
+
+    def payload(self) -> Dict[str, Any]:
+        return {"conflicts": self.conflicts,
+                "versions": {str(k): v for k, v in self.versions.items()}}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "ConflictResponse":
+        return cls(body["conflicts"], _int_keyed(body["versions"]))
+
+
 class Acknowledgement(Message):
     """Empty positive reply."""
 
@@ -532,7 +655,8 @@ _MESSAGE_TYPES = {
         ChildrenRequest, ChildrenResponse, EvaluateRequest, EvaluateResponse,
         FrontierRequest, FrontierResponse, FetchPolynomialsRequest,
         FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
-        PruneNotice, Acknowledgement, ErrorResponse, BusyResponse,
+        PruneNotice, UpdateRequest, UpdateResponse, ConflictResponse,
+        Acknowledgement, ErrorResponse, BusyResponse,
         BlobRequest, BlobResponse,
     )
 }

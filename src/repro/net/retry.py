@@ -18,7 +18,12 @@ Failure taxonomy (see :mod:`repro.errors`):
   reconnects, re-negotiates HELLO, and replays the request **with the
   same idempotency key**, so a server that did process it answers
   bit-identically from its idempotency cache instead of processing (and
-  observing) it twice.
+  observing) it twice.  This is exactly what makes v3
+  :class:`~repro.net.messages.UpdateRequest` batches safe to replay: a
+  batch that *committed* before the reply was lost is answered with the
+  cached :class:`~repro.net.messages.UpdateResponse` (or cached
+  :class:`~repro.net.messages.ConflictResponse`) instead of being
+  applied — or version-checked — a second time.
 * :class:`~repro.errors.ServerBusyError` — the server shed the request
   in-band.  The session is healthy: no reconnect, wait the server's
   ``retry_after_s`` hint (or the policy backoff, whichever is larger) and

@@ -363,6 +363,33 @@ class InMemoryShareStore(ShareStore):
         return self.tree.evaluate(node_id, point)
 
     def evaluate_many(self, node_ids: Sequence[int], point: int) -> Dict[int, int]:
+        """Batched evaluation; rides the vectorized kernel tier when active.
+
+        The resident shares are scattered into one padded int64 matrix and
+        evaluated in a single :meth:`VecFpKernel.evaluate_matrix` pass —
+        the same point coercion and final reduction as
+        :meth:`EncodingRing.evaluate_many`, so the result stays
+        bit-identical to the generic path (asserted by the tier-identity
+        suite).  Without numpy, on the flat/generic tiers, or for rings
+        beyond the native width, this falls back to the wrapped tree's
+        batched path unchanged.
+        """
+        kernel = self.ring.coefficient_ring.kernel()
+        if node_ids and isinstance(kernel, VecFpKernel):
+            shares = [self.tree.share_of(node_id) for node_id in node_ids]
+            longest = max(len(share.coeffs) for share in shares)
+            if longest:
+                np = numpy_or_none()
+                matrix = np.zeros((len(shares), longest), dtype=np.int64)
+                for index, share in enumerate(shares):
+                    if share.coeffs:
+                        matrix[index, :len(share.coeffs)] = share.coeffs
+                coerced = self.ring.coefficient_ring.coerce(point)
+                values = kernel.evaluate_matrix(matrix, coerced)
+                modulus = self.ring.evaluation_modulus(point)
+                if modulus is not None:
+                    values = [value % modulus for value in values]
+                return dict(zip(node_ids, values))
         return self.tree.evaluate_many(node_ids, point)
 
     def storage_bits(self) -> int:

@@ -247,7 +247,7 @@ class TestAsyncServerInterface:
             session = await AsyncServerInterface.open(
                 "127.0.0.1", async_handle.port, tree.ring)
             try:
-                assert session.protocol_version == 2
+                assert session.protocol_version == 3
                 assert session.batched_rounds
                 root = await session.root_id()
                 assert root == tree.root_id

@@ -14,6 +14,14 @@ request replayed after an ambiguous failure (processed, reply lost) is
 answered from the idempotency cache, so the observation ledgers count it
 exactly once.
 
+The update-path tests extend the same discipline to v3 write batches: a
+faulted ``UpdateRequest`` (connection reset before or after the send, a
+truncated response, a busy frame, a transient store failure inside
+``apply_batch``) must apply **exactly once** — never twice (the replay
+is answered from the idempotency cache, proven by the commit audit
+trail) and never half (a failed batch leaves the store bit-identical to
+its pre-batch state).
+
 Every plan and retry schedule is seeded; ``REPRO_CHAOS_SEED`` (used by
 the CI chaos matrix) shifts the seeds without losing reproducibility.
 """
@@ -24,12 +32,18 @@ import threading
 
 import pytest
 
-from repro.core import VerificationMode, outsource_document
+from repro.core import (
+    UpdatableTree,
+    VerificationMode,
+    choose_fp_ring,
+    outsource_document,
+)
 from repro.core.advanced import AdvancedQueryExecutor
 from repro.errors import (
     ProtocolError,
     RetryExhaustedError,
     ServerBusyError,
+    TransientServerError,
     TransportError,
 )
 from repro.net import (
@@ -40,6 +54,7 @@ from repro.net import (
     InMemoryShareStore,
     InstrumentedChannel,
     RemoteServerAdapter,
+    RemoteUpdatableTree,
     SearchServer,
     SocketChannel,
     ThreadedSearchServer,
@@ -48,11 +63,14 @@ from repro.net import (
     connect_resilient_socket,
     connect_socket,
     flaky_handler,
+    share_tree_from_dict,
+    share_tree_to_dict,
     start_async_server,
 )
 from repro.net.messages import FrontierRequest
 from repro.net.retry import RetryPolicy
-from repro.workloads import figure1_document
+from repro.workloads import CatalogConfig, figure1_document, generate_catalog_document
+from repro.xmltree import parse_element
 
 #: CI runs the suite under three fixed seeds; locally it defaults to 0.
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
@@ -537,6 +555,171 @@ class TestSocketLeakRegression:
         probe.close()
         with pytest.raises(TransportError):
             connect_socket("127.0.0.1", dead_port, tree.ring, timeout_s=2.0)
+
+
+def _editable():
+    """(client, hosted_tree, reference_clone) with F_p headroom for edits."""
+    document = generate_catalog_document(
+        CatalogConfig(customers=4, products=3, seed=13))
+    ring = choose_fp_ring(len(document.distinct_tags()) + 4)
+    client, tree, _ = outsource_document(document, ring=ring,
+                                         seed=b"chaos-update")
+    reference = share_tree_from_dict(share_tree_to_dict(tree))
+    return client, tree, reference
+
+
+def _store_fingerprint(store):
+    """Bit-level store state: structure plus every share's coefficients."""
+    return {
+        node_id: (store.parent_id(node_id),
+                  tuple(store.child_ids(node_id)),
+                  tuple(store.share_of(node_id).coeffs))
+        for node_id in store.node_ids()
+    }
+
+
+def _edit_targets(tree):
+    children = tree.child_ids(tree.root_id)
+    return {"insert": children[0], "rename": children[-1],
+            "delete": children[1]}
+
+
+def _run_edits(editor, targets):
+    editor.insert_subtree(targets["insert"],
+                          parse_element("<chaos><probe/></chaos>"))
+    editor.rename_node(targets["rename"], "zchaos")
+    editor.delete_subtree(targets["delete"])
+
+
+#: One scheduled fault per update-path phase.  ``reset-after-send`` on
+#: ``update:recv`` is the ambiguous case: the batch *was* committed and
+#: the reply lost, so the replay must be answered from the idempotency
+#: cache instead of applied twice.
+UPDATE_FAULTS = [
+    ("update:send", "reset-before-send", 1),
+    ("update:send", "busy", 2),
+    ("update:recv", "reset-after-send", 1),
+    ("update:recv", "reset-after-send", 3),
+    ("update:recv", "truncate-response", 2),
+]
+
+
+class TestUpdateFaults:
+    """v3 write batches under faults: exactly once, never half."""
+
+    @pytest.mark.parametrize("point,kind,call", UPDATE_FAULTS)
+    def test_update_fault_applies_exactly_once(self, point, kind, call):
+        client, tree, reference = _editable()
+        targets = _edit_targets(tree)
+        _run_edits(UpdatableTree(client.ring, client.mapping,
+                                 client.share_generator, reference),
+                   targets)
+
+        server = SearchServer(tree)
+        plan = FaultPlan.single(point, kind, call=call, seed=CHAOS_SEED)
+        adapter, channel = connect_resilient(
+            lambda: FaultyChannel(InstrumentedChannel(server.handle), plan),
+            tree.ring, policy=fast_policy())
+        editor = RemoteUpdatableTree(adapter, client.mapping,
+                                     client.share_generator)
+        _run_edits(editor, targets)
+
+        assert plan.fires, "the scheduled update fault never fired"
+        assert editor.rebases == 0
+        # Bit-identical to the fault-free in-process run: nothing was
+        # lost, nothing was applied twice.
+        assert _store_fingerprint(server.document().store) == \
+            _store_fingerprint(reference)
+        # The commit audit trail shows three batches, each committed
+        # exactly once under a distinct idempotency key — replays after
+        # ambiguous failures were answered from the cache.
+        log = server.document().update_log
+        assert [entry[1] for entry in log] == ["insert", "rename", "delete"]
+        ids = [entry[0] for entry in log]
+        assert all(ids) and len(set(ids)) == len(ids)
+
+    def test_update_faults_over_real_sockets(self):
+        client, tree, reference = _editable()
+        targets = _edit_targets(tree)
+        _run_edits(UpdatableTree(client.ring, client.mapping,
+                                 client.share_generator, reference),
+                   targets)
+
+        core = SearchServer(tree)
+        server = ThreadedSearchServer(core)
+        server.start()
+        try:
+            host, port = server.address
+            plan = FaultPlan([
+                FaultRule("update:send", "reset-before-send", calls=[1]),
+                FaultRule("update:recv", "reset-after-send", calls=[2]),
+            ], seed=CHAOS_SEED)
+            adapter, channel = connect_resilient(
+                lambda: FaultyChannel(SocketChannel(host, port), plan),
+                tree.ring, policy=fast_policy())
+            try:
+                editor = RemoteUpdatableTree(adapter, client.mapping,
+                                             client.share_generator)
+                _run_edits(editor, targets)
+            finally:
+                channel.close()
+            assert len(plan.fires) == 2
+        finally:
+            server.stop()
+        assert _store_fingerprint(core.document().store) == \
+            _store_fingerprint(reference)
+        ids = [entry[0] for entry in core.document().update_log]
+        assert len(ids) == 3 and all(ids) and len(set(ids)) == len(ids)
+
+    def test_store_fault_retries_to_exactly_once(self):
+        client, tree, reference = _editable()
+        targets = _edit_targets(tree)
+        _run_edits(UpdatableTree(client.ring, client.mapping,
+                                 client.share_generator, reference),
+                   targets)
+
+        plan = FaultPlan([FaultRule("store:apply_batch", "store-error",
+                                    calls=[1, 3])], seed=CHAOS_SEED)
+        server = SearchServer(FaultyStore(InMemoryShareStore(tree), plan))
+        adapter, _ = connect_resilient(
+            lambda: InstrumentedChannel(server.handle),
+            tree.ring, policy=fast_policy())
+        editor = RemoteUpdatableTree(adapter, client.mapping,
+                                     client.share_generator)
+        _run_edits(editor, targets)
+
+        assert len(plan.fires) == 2
+        # The injected failures fired *before* the batch touched the
+        # store, the retries landed it: exactly-once, bit-identical.
+        assert _store_fingerprint(server.document().store) == \
+            _store_fingerprint(reference)
+        log = server.document().update_log
+        assert [entry[1] for entry in log] == ["insert", "rename", "delete"]
+        assert len({entry[0] for entry in log}) == 3
+
+    def test_failed_batch_never_half_applies(self):
+        client, tree, _ = _editable()
+        targets = _edit_targets(tree)
+        plan = FaultPlan([FaultRule("store:apply_batch", "store-error",
+                                    calls=[1])], seed=CHAOS_SEED)
+        server = SearchServer(FaultyStore(InMemoryShareStore(tree), plan))
+        before = _store_fingerprint(server.document().store)
+
+        adapter, _ = connect(server)
+        editor = RemoteUpdatableTree(adapter, client.mapping,
+                                     client.share_generator)
+        with pytest.raises(TransientServerError):
+            editor.rename_node(targets["rename"], "zhalf")
+        # The failed batch left no trace: store bit-identical, no commit
+        # logged, no version bumped.
+        assert _store_fingerprint(server.document().store) == before
+        assert server.document().update_log == []
+        assert server.document().versions == {}
+
+        # The same editor retries cleanly once the fault has passed.
+        editor.rename_node(targets["rename"], "zhalf")
+        assert [entry[1] for entry in server.document().update_log] == \
+            ["rename"]
 
 
 class TestGracefulShutdown:

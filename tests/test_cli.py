@@ -150,6 +150,54 @@ class TestInspectAndDecode:
         assert "different ring" in capsys.readouterr().err
 
 
+class TestEdit:
+    def test_edit_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["edit", "client.json", "rename", "4",
+                                  "--tag", "client", "--port", "0"])
+        assert args.command == "edit"
+        assert args.node_id == 4 and args.tag == "client"
+        assert args.max_rebases == 4
+
+    def test_remote_rename_and_delete(self, outsourced_files, capsys):
+        from repro.net import (
+            SearchServer,
+            ThreadedSearchServer,
+            open_share_store,
+        )
+
+        server_file, client_file = outsourced_files
+        store = open_share_store(server_file)
+        server = ThreadedSearchServer(SearchServer(store))
+        server.start()
+        try:
+            host, port = server.address
+            code = main(["edit", client_file, "rename", "4",
+                         "--tag", "client",
+                         "--host", host, "--port", str(port)])
+            output = capsys.readouterr().out
+            assert code == 0
+            assert "committed" in output and "operation=rename" in output
+            code = main(["edit", client_file, "delete", "2",
+                         "--host", host, "--port", str(port)])
+            assert code == 0
+            assert "operation=delete" in capsys.readouterr().out
+        finally:
+            server.stop()
+        # The hosted store really was edited over the wire.
+        assert 2 not in store.node_ids()
+
+    def test_insert_requires_xml(self, outsourced_files, capsys):
+        _, client_file = outsourced_files
+        assert main(["edit", client_file, "insert", "1"]) == 1
+        assert "--xml" in capsys.readouterr().err
+
+    def test_rename_requires_tag(self, outsourced_files, capsys):
+        _, client_file = outsourced_files
+        assert main(["edit", client_file, "rename", "1"]) == 1
+        assert "--tag" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_writes_snapshot(self, tmp_path, capsys):
         out = str(tmp_path / "BENCH_TEST.json")

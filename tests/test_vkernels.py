@@ -217,6 +217,24 @@ class TestStoreTierIdentity:
         assert share == server_tree.share_of(node_ids[0])
         store.close()
 
+    def test_in_memory_evaluate_many_identical_across_tiers(self, outsourced):
+        from repro.net import InMemoryShareStore
+
+        (client, server_tree, _), _ = outsourced
+        store = InMemoryShareStore(server_tree)
+        node_ids = store.node_ids()
+        for point in (3, 5, 11):
+            vectorized, flat, generic = _evaluate_store_three_ways(
+                store, node_ids, point)
+            assert vectorized == flat == generic
+            # ... and all of them equal the tree's own scalar walk.
+            assert vectorized == server_tree.evaluate_many(node_ids, point)
+        # Edge cases: empty request and a single constant-share node.
+        assert store.evaluate_many([], 3) == {}
+        one = node_ids[:1]
+        assert store.evaluate_many(one, 7) == \
+            server_tree.evaluate_many(one, 7)
+
     def test_full_lookup_identical_across_tiers(self, outsourced):
         from repro.net import connect_in_process
 
