@@ -44,6 +44,7 @@ __all__ = [
     "run_update_benchmarks",
     "run_fault_benchmarks",
     "run_kernel_benchmarks",
+    "run_ops_benchmarks",
     "write_snapshot",
     "SNAPSHOT_NAME",
     "SERVING_SNAPSHOT_NAME",
@@ -51,6 +52,7 @@ __all__ = [
     "UPDATES_SNAPSHOT_NAME",
     "FAULTS_SNAPSHOT_NAME",
     "KERNELS_SNAPSHOT_NAME",
+    "OPS_SNAPSHOT_NAME",
 ]
 
 SNAPSHOT_NAME = "BENCH_1"
@@ -64,6 +66,8 @@ UPDATES_SNAPSHOT_NAME = "BENCH_4"
 FAULTS_SNAPSHOT_NAME = "BENCH_5"
 
 KERNELS_SNAPSHOT_NAME = "BENCH_6"
+
+OPS_SNAPSHOT_NAME = "BENCH_7"
 
 #: Prime used for the raw F_p multiplication benchmark (large enough that
 #: coefficients are realistic residues, small enough to stay hardware-native).
@@ -606,6 +610,33 @@ def run_concurrency_benchmarks(quick: bool = False,
                     store.close()
             results["modes"][mode] = rows
 
+        # Coalescing-tick-size sweep: the same async serving stack at the
+        # largest session count, with the coalescer's drain bound varied.
+        # tick=1 disables coalescing (one store pass per request), tick=0
+        # drains everything queued; intermediate ticks trade per-request
+        # latency (p99) against batch width.
+        tick_sizes = [1, 4, 0] if quick else [1, 4, 16, 0]
+        sweep_sessions = session_counts[-1]
+        ticks: Dict[str, Any] = {}
+        for tick in tick_sizes:
+            store = SQLiteShareStore(path)
+            handle = start_async_server(SearchServer(store), tick_size=tick)
+            try:
+                _concurrent_lookups(client, store.ring, handle.port, 1,
+                                    tags, reference)
+                row = _concurrent_lookups(client, store.ring, handle.port,
+                                          sweep_sessions, tags, reference)
+                row["coalesced_batches"] = handle.server.coalesced_batches
+                row["coalesced_requests"] = handle.server.coalesced_requests
+                row["largest_batch"] = handle.server.largest_batch
+            finally:
+                handle.stop()
+                store.close()
+            ticks[str(tick)] = row
+        results["tick_sweep"] = {"sessions": sweep_sessions,
+                                 "tick_sizes": list(tick_sizes),
+                                 "ticks": ticks}
+
     results["speedup_by_sessions"] = {
         key: round(results["modes"]["async_coalesced"][key]["lookups_per_s"]
                    / results["modes"]["sync_threaded"][key]["lookups_per_s"], 2)
@@ -738,6 +769,66 @@ def bench_update_evaluate_many(server_tree, batch: int = 512) -> Dict[str, Any]:
     }
 
 
+def bench_update_wal_overhead(client, server_tree, subtree_size: int = 64,
+                              repeat: int = 3) -> Dict[str, Any]:
+    """Per-operation cost of WAL-journaled durability vs the in-memory store.
+
+    The same insert+delete pair (one ``subtree_size``-node subtree under
+    the root, then its removal) runs through the identical update planner
+    against the durable SQLite backend — where every batch is journaled to
+    the write-ahead log and flushed to coefficient pages — and against
+    :class:`~repro.net.store.InMemoryShareStore`, which applies the batch
+    with no durability work at all.  The gap is the price of crash safety
+    per editing operation.
+    """
+    from .core import UpdatableTree
+    from .net import InMemoryShareStore, SQLiteShareStore
+
+    tags = sorted(client.mapping.tags())
+
+    def best_pair(editor, root_id) -> Dict[str, float]:
+        insert_best = delete_best = float("inf")
+        for round_index in range(repeat):
+            subtree = _update_subtree(subtree_size, tags,
+                                      seed=900 + round_index)
+            start = time.perf_counter()
+            report = editor.insert_subtree(root_id, subtree)
+            insert_best = min(insert_best, time.perf_counter() - start)
+            assert len(report.new_node_ids) == subtree_size
+            start = time.perf_counter()
+            editor.delete_subtree(report.new_node_ids[0])
+            delete_best = min(delete_best, time.perf_counter() - start)
+        per_op_s = (insert_best + delete_best) / 2.0
+        return {
+            "insert_ms": round(insert_best * 1000, 3),
+            "delete_ms": round(delete_best * 1000, 3),
+            "per_op_ms": round(per_op_s * 1000, 3),
+            "per_node_ms": round(per_op_s * 1000 / subtree_size, 4),
+        }
+
+    backends: Dict[str, Any] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SQLiteShareStore.from_tree(os.path.join(tmp, "wal.db"),
+                                           server_tree)
+        editor = UpdatableTree(client.ring, client.mapping,
+                               client.share_generator, store)
+        backends["sqlite_wal"] = best_pair(editor, store.root_id)
+        store.close()
+    memory = InMemoryShareStore(server_tree)
+    editor = UpdatableTree(client.ring, client.mapping,
+                           client.share_generator, memory)
+    backends["in_memory"] = best_pair(editor, memory.root_id)
+    wal_ms = backends["sqlite_wal"]["per_op_ms"]
+    memory_ms = backends["in_memory"]["per_op_ms"]
+    return {
+        "subtree_nodes": subtree_size,
+        "repeat": repeat,
+        "backends": backends,
+        "wal_overhead_per_op_ms": round(wal_ms - memory_ms, 3),
+        "wal_overhead_ratio": round(wal_ms / memory_ms, 2),
+    }
+
+
 def run_update_benchmarks(quick: bool = False) -> Dict[str, Any]:
     """BENCH_4: durable dynamic updates — latency, crash-safety cost, size.
 
@@ -765,6 +856,11 @@ def run_update_benchmarks(quick: bool = False) -> Dict[str, Any]:
         "update_latency": bench_update_latency(client, server_tree,
                                                subtree_sizes),
         "evaluate_many": bench_update_evaluate_many(server_tree),
+        # Last: the in-memory leg edits server_tree in place (net-zero
+        # structurally, but ancestor shares are re-randomised).
+        "wal_overhead": bench_update_wal_overhead(
+            client, server_tree, subtree_size=32 if quick else 128,
+            repeat=2 if quick else 3),
     }
 
 
@@ -1160,6 +1256,220 @@ def run_kernel_benchmarks(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+# ---------------------------------------------------------------------------
+# Control-plane benchmark (BENCH_7): observability + admission overhead
+# ---------------------------------------------------------------------------
+
+def _ops_async_round(client, ring, path: str, sessions: int,
+                     tags: List[str], reference: Dict[str, tuple],
+                     tick_size: int = 0,
+                     configure=None) -> Dict[str, Any]:
+    """One timed async-serving round on a fresh SQLite store connection.
+
+    Boots the coalescing transport over a cold store, runs one warm-up
+    session and then the timed ``sessions``-way round (every lookup
+    asserted bit-identical to the in-memory reference), and folds the
+    serving stack's own accounting into the row — including the proof
+    that admitted == completed + shed + failed with nothing in flight.
+    """
+    from .net import SearchServer, SQLiteShareStore, start_async_server
+
+    store = SQLiteShareStore(path)
+    server = SearchServer(store)
+    if configure is not None:
+        configure(server)
+    handle = start_async_server(server, tick_size=tick_size)
+    try:
+        _concurrent_lookups(client, ring, handle.port, 1, tags, reference)
+        row = _concurrent_lookups(client, ring, handle.port, sessions,
+                                  tags, reference)
+        accounting = server.accounting()
+        row["accounting"] = accounting
+        row["accounting_reconciles"] = (
+            accounting["admitted"] == (accounting["completed"]
+                                       + accounting["shed"]
+                                       + accounting["failed"])
+            and accounting["inflight"] == 0)
+        row["coalesced_batches"] = handle.server.coalesced_batches
+        row["coalesced_requests"] = handle.server.coalesced_requests
+        row["largest_batch"] = handle.server.largest_batch
+    finally:
+        handle.stop()
+        store.close()
+    return row
+
+
+def bench_ops_quota_overhead(client, ring, path: str, tags: List[str],
+                             reference: Dict[str, tuple], sessions: int = 4,
+                             repeat: int = 3) -> Dict[str, Any]:
+    """Admission-control overhead: the same workload with quotas off vs on.
+
+    The quota'd runs configure a deliberately generous token bucket plus a
+    shared overflow pool (nothing is ever shed — asserted from the
+    accounting), so the measured gap is purely the control plane's
+    bookkeeping on the hot path.  The regression statistic is *paired*:
+    each round runs both arms back to back and contributes one
+    quota/baseline p50 ratio, and the reported regression is the median
+    ratio — round-level drift (cache state, thermal, background load)
+    hits both halves of a pair equally, and the median discards the odd
+    round where the scheduler hiccuped under exactly one arm.
+    """
+    from .net.engine import DEFAULT_DOCUMENT
+
+    def with_quota(server) -> None:
+        server.registry.configure_quota(DEFAULT_DOCUMENT, 1e9, burst=1e9)
+        server.registry.configure_shared_pool(1e9, burst=1e9)
+
+    # Each round repeats the tag set so the per-round p50 rests on enough
+    # samples to be stable against scheduler jitter.
+    workload = list(tags) * 4
+    baseline_p50 = quota_p50 = float("inf")
+    ratios: List[float] = []
+    quota_shed = 0
+    for _ in range(repeat):
+        row = _ops_async_round(client, ring, path, sessions, workload,
+                               reference)
+        assert row["accounting_reconciles"]
+        round_baseline = row["p50_ms"]
+        baseline_p50 = min(baseline_p50, round_baseline)
+        row = _ops_async_round(client, ring, path, sessions, workload,
+                               reference, configure=with_quota)
+        assert row["accounting_reconciles"]
+        quota_p50 = min(quota_p50, row["p50_ms"])
+        quota_shed += row["accounting"]["shed"]
+        ratios.append(row["p50_ms"] / round_baseline)
+    ratios.sort()
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        regression = ratios[mid]
+    else:
+        regression = (ratios[mid - 1] + ratios[mid]) / 2.0
+    return {
+        "sessions": sessions,
+        "repeat": repeat,
+        "baseline_p50_ms": baseline_p50,
+        "quota_p50_ms": quota_p50,
+        "quota_shed": quota_shed,
+        "paired_ratios": [round(ratio, 4) for ratio in ratios],
+        "p50_regression": round(regression, 4),
+        "within_budget": bool(regression < 1.03),
+    }
+
+
+def run_ops_benchmarks(quick: bool = False,
+                       session_counts: Optional[List[int]] = None,
+                       tick_sizes: Optional[List[int]] = None) -> Dict[str, Any]:
+    """BENCH_7: the serving control plane under load.
+
+    Four sections, all over the async coalescing transport on the durable
+    SQLite backend with every lookup asserted bit-identical to the
+    in-memory reference:
+
+    * per-session lookup latency percentiles (p50/p95/p99) at several
+      concurrency levels, with the serving stack's own accounting
+      reconciliation (admitted == completed + shed + failed) in each row;
+    * a coalescing-tick-size sweep at the highest concurrency;
+    * quota-enforcement overhead — the identical workload with per-tenant
+      admission off vs on (generous buckets, zero shed), budgeted at a
+      <3% p50 regression;
+    * the WAL-durability overhead per editing operation vs the in-memory
+      store (the ops-facing cost of crash safety).
+    """
+    from .core import VerificationMode, outsource_document
+    from .net import SQLiteShareStore
+
+    if session_counts is None:
+        session_counts = [1, 2, 4] if quick else [1, 4, 16]
+    if tick_sizes is None:
+        tick_sizes = [1, 4, 0] if quick else [1, 4, 16, 0]
+    element_count = 1500 if quick else 20_000
+    lookups_per_session = 3 if quick else 4
+    document = _concurrency_document(element_count, seed=11)
+    client, server_tree, _ = outsource_document(document, seed=b"bench-7")
+    tags = _selective_tags(document, lookups_per_session)
+    reference = {
+        tag: tuple(client.lookup(server_tree, tag,
+                                 verification=VerificationMode.NONE).matches)
+        for tag in tags}
+
+    latency_rows: Dict[str, Any] = {}
+    ticks: Dict[str, Any] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench7.db")
+        SQLiteShareStore.from_tree(path, server_tree).close()
+        ring = server_tree.ring
+        for sessions in session_counts:
+            latency_rows[str(sessions)] = _ops_async_round(
+                client, ring, path, sessions, tags, reference)
+        sweep_sessions = session_counts[-1]
+        for tick in tick_sizes:
+            ticks[str(tick)] = _ops_async_round(
+                client, ring, path, sweep_sessions, tags, reference,
+                tick_size=tick)
+        quota = bench_ops_quota_overhead(
+            client, ring, path, tags, reference,
+            sessions=max(2, session_counts[len(session_counts) // 2]),
+            repeat=4 if quick else 5)
+    # Last: the in-memory leg edits server_tree in place.
+    wal = bench_update_wal_overhead(client, server_tree,
+                                    subtree_size=32 if quick else 64,
+                                    repeat=2 if quick else 3)
+    return {
+        "snapshot": OPS_SNAPSHOT_NAME,
+        "description": "serving control plane: per-session latency "
+                       "percentiles under concurrency, coalescing tick-size "
+                       "sweep, per-tenant quota enforcement overhead, WAL "
+                       "durability overhead per editing operation",
+        "config": {"quick": quick, "element_count": element_count,
+                   "session_counts": list(session_counts),
+                   "tick_sizes": list(tick_sizes),
+                   "lookups_per_session": lookups_per_session,
+                   "tags": list(tags),
+                   "identical_to_reference": True,
+                   "environment": _environment()},
+        "latency_by_sessions": latency_rows,
+        "tick_sweep": {"sessions": session_counts[-1],
+                       "tick_sizes": list(tick_sizes), "ticks": ticks},
+        "quota_overhead": quota,
+        "wal_overhead": wal,
+    }
+
+
+def format_ops_summary(results: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_7 snapshot."""
+    lines = [f"snapshot {results['snapshot']} "
+             f"({results['config']['element_count']} elements, "
+             f"{results['config']['lookups_per_session']} lookups/session, "
+             "async coalesced transport)"]
+    for sessions, row in sorted(results["latency_by_sessions"].items(),
+                                key=lambda kv: int(kv[0])):
+        ok = "ok" if row["accounting_reconciles"] else "MISMATCH"
+        lines.append(
+            f"  {sessions:>3} session(s): p50 {row['p50_ms']:7.2f} ms  "
+            f"p95 {row['p95_ms']:7.2f} ms  p99 {row['p99_ms']:7.2f} ms  "
+            f"({row['lookups_per_s']:.1f} lookups/s, accounting {ok})")
+    sweep = results["tick_sweep"]
+    for tick, row in sorted(sweep["ticks"].items(), key=lambda kv: int(kv[0])):
+        label = "unbounded" if tick == "0" else tick
+        lines.append(
+            f"  tick {label:>9} @ {sweep['sessions']} sessions: "
+            f"p99 {row['p99_ms']:7.2f} ms  "
+            f"largest batch {row['largest_batch']}")
+    quota = results["quota_overhead"]
+    verdict = "within" if quota["within_budget"] else "OVER"
+    lines.append(
+        f"  quota overhead: p50 {quota['baseline_p50_ms']:.2f} -> "
+        f"{quota['quota_p50_ms']:.2f} ms "
+        f"(x{quota['p50_regression']}, {verdict} 3% budget, "
+        f"{quota['quota_shed']} shed)")
+    wal = results["wal_overhead"]
+    lines.append(
+        f"  WAL durability: {wal['backends']['sqlite_wal']['per_op_ms']:.2f} "
+        f"ms/op vs {wal['backends']['in_memory']['per_op_ms']:.2f} ms/op "
+        f"in-memory (x{wal['wal_overhead_ratio']})")
+    return "\n".join(lines)
+
+
 def format_kernel_summary(results: Dict[str, Any]) -> str:
     """Human-readable one-screen summary of a BENCH_6 snapshot."""
     env = results["config"]["environment"]
@@ -1230,6 +1540,13 @@ def format_update_summary(results: Dict[str, Any]) -> str:
         f"  evaluate_many({many['batch_nodes']} nodes): batched "
         f"{many['batched_passes_per_sec']:.1f}/s vs per-node "
         f"{many['per_node_passes_per_sec']:.1f}/s (x{many['speedup']})")
+    wal = results.get("wal_overhead")
+    if wal:
+        lines.append(
+            f"  WAL overhead ({wal['subtree_nodes']}-node ops): "
+            f"{wal['backends']['sqlite_wal']['per_op_ms']:.2f} ms/op durable "
+            f"vs {wal['backends']['in_memory']['per_op_ms']:.2f} ms/op "
+            f"in-memory (x{wal['wal_overhead_ratio']})")
     return "\n".join(lines)
 
 
@@ -1249,6 +1566,15 @@ def format_concurrency_summary(results: Dict[str, Any]) -> str:
             f"{async_row['lookups_per_s']:8.2f} lookups/s   "
             f"x{concurrency['speedup_by_sessions'][key]} "
             f"(largest batch {async_row['largest_batch']})")
+    sweep = concurrency.get("tick_sweep")
+    if sweep:
+        for tick, row in sorted(sweep["ticks"].items(),
+                                key=lambda kv: int(kv[0])):
+            label = "unbounded" if tick == "0" else tick
+            lines.append(
+                f"  tick {label:>9} @ {sweep['sessions']} sessions: "
+                f"p99 {row['p99_ms']:7.2f} ms  "
+                f"largest batch {row['largest_batch']}")
     return "\n".join(lines)
 
 

@@ -18,7 +18,10 @@ Usage::
     python -m repro.cli bench --quick --out BENCH_1.json
     python -m repro.cli bench --concurrency 16 --out BENCH_3.json
     python -m repro.cli bench --updates --out BENCH_4.json
-    python -m repro.cli serve server.json --port 9653 --async
+    python -m repro.cli bench --ops --out BENCH_7.json
+    python -m repro.cli serve server.json --port 9653 --async \
+        --metrics-port 9100 --quota docs=50:100:2 --shared-pool 25
+    python -m repro.cli stats --port 9653 --json
     python -m repro.cli edit client.json rename 5 --tag price --port 9653
     python -m repro.cli edit client.json insert 2 --xml "<note/>" --port 9653
     python -m repro.cli migrate-store server.db
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 from typing import List, Optional, Sequence
@@ -119,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--document-id", default=None,
                        help="host the document under this id "
                             "(default: the v1-compatible default document)")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="also serve plaintext /metrics and /health on "
+                            "this HTTP port (0 picks a free one)")
+    serve.add_argument("--quota", action="append", default=[],
+                       metavar="DOC=RATE[:BURST[:WEIGHT]]",
+                       help="per-tenant admission quota: requests/second, "
+                            "optional burst size and fair-share weight "
+                            "(repeatable, one per document id)")
+    serve.add_argument("--shared-pool", default=None, metavar="RATE[:BURST]",
+                       help="shared overflow pool tenants may borrow from "
+                            "in proportion to their weights")
 
     edit = commands.add_parser(
         "edit", help="edit a *served* document over the wire (v3 update "
@@ -144,6 +159,21 @@ def build_parser() -> argparse.ArgumentParser:
     edit.add_argument("--max-rebases", type=int, default=4,
                       help="conflict rounds to absorb by refetch-and-rebase "
                            "before giving up (default: 4)")
+
+    stats = commands.add_parser(
+        "stats", help="query a running server's metrics snapshot over the "
+                      "wire (v3 stats probe)")
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server host (default: 127.0.0.1)")
+    stats.add_argument("--port", type=int, default=9653,
+                       help="server TCP port (default: 9653)")
+    stats.add_argument("--document-id", default=None,
+                       help="filter the snapshot to this tenant's view "
+                            "(default: the whole-server view)")
+    stats.add_argument("--health", action="store_true",
+                       help="fetch the health summary instead of metrics")
+    stats.add_argument("--json", dest="as_json", action="store_true",
+                       help="print the raw JSON payload")
 
     migrate = commands.add_parser(
         "migrate-store",
@@ -189,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "for multiplication, batched store evaluation and "
                             "end-to-end lookups, plus adaptive speculation "
                             "depth) instead of the default suite")
+    bench.add_argument("--ops", action="store_true",
+                       help="run the BENCH_7 control-plane benchmark "
+                            "(per-session latency percentiles under "
+                            "concurrency, coalescing tick-size sweep, quota "
+                            "enforcement overhead, WAL write overhead) "
+                            "instead of the kernel suite")
     return parser
 
 
@@ -326,8 +362,40 @@ def _cmd_edit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_quota_spec(spec: str) -> tuple:
+    """``DOC=RATE[:BURST[:WEIGHT]]`` -> (document, rate, burst, weight)."""
+    document, sep, numbers = spec.partition("=")
+    if not sep or not document:
+        raise ReproError(f"malformed --quota {spec!r}: expected "
+                         "DOC=RATE[:BURST[:WEIGHT]]")
+    parts = numbers.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise ReproError(f"malformed --quota {spec!r}: expected "
+                         "DOC=RATE[:BURST[:WEIGHT]]")
+    try:
+        rate = float(parts[0])
+        burst = float(parts[1]) if len(parts) > 1 else None
+        weight = float(parts[2]) if len(parts) > 2 else 1.0
+    except ValueError as exc:
+        raise ReproError(f"malformed --quota {spec!r}: {exc}") from None
+    return document, rate, burst, weight
+
+
+def _parse_pool_spec(spec: str) -> tuple:
+    """``RATE[:BURST]`` -> (rate, burst)."""
+    parts = spec.split(":")
+    if not 1 <= len(parts) <= 2:
+        raise ReproError(f"malformed --shared-pool {spec!r}: expected "
+                         "RATE[:BURST]")
+    try:
+        return float(parts[0]), float(parts[1]) if len(parts) > 1 else None
+    except ValueError as exc:
+        raise ReproError(f"malformed --shared-pool {spec!r}: {exc}") from None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import SearchServer, ThreadedSearchServer, start_async_server
+    from .obs import MetricsServer
 
     store = open_share_store(args.server_file)
     if args.document_id is None:
@@ -335,8 +403,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         server = SearchServer()
         server.add_document(args.document_id, store)
+    for spec in args.quota:
+        document, rate, burst, weight = _parse_quota_spec(spec)
+        server.registry.configure_quota(document, rate, burst=burst,
+                                        weight=weight)
+    if args.shared_pool is not None:
+        rate, burst = _parse_pool_spec(args.shared_pool)
+        server.registry.configure_shared_pool(rate, burst=burst)
     transport = "async (coalesced)" if args.use_async else "threaded"
+    metrics_server = None
     try:
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(server.metrics,
+                                           port=args.metrics_port,
+                                           host=args.host,
+                                           health=server.health).start()
         if args.use_async:
             handle = start_async_server(server, host=args.host, port=args.port)
             host, port = args.host, handle.port
@@ -346,6 +427,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host, port = threaded.address
         print(f"serving {args.server_file} on {host}:{port} "
               f"[{transport} transport, {store.node_count()} nodes]")
+        if metrics_server is not None:
+            print(f"metrics on http://{args.host}:{metrics_server.port}"
+                  f"/metrics (health on /health)")
+        if args.quota:
+            print(f"admission quotas on {len(args.quota)} tenant(s)"
+                  + (", shared overflow pool enabled"
+                     if args.shared_pool is not None else ""))
         print("press Ctrl-C to stop")
         try:
             while True:
@@ -358,7 +446,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else:
                 threaded.stop()
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         store.close()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .net.channel import SocketChannel
+    from .net.messages import (
+        HealthRequest,
+        HealthResponse,
+        StatsRequest,
+        StatsResponse,
+    )
+
+    # The stats/health probes are hello-exempt, so the CLI needs no ring
+    # and no negotiation — one framed request over a raw socket channel.
+    channel = SocketChannel(args.host, args.port)
+    try:
+        if args.health:
+            request = HealthRequest()
+        else:
+            request = StatsRequest()
+        if args.document_id is not None:
+            request.for_document(args.document_id)
+        response = channel.request(request)
+    finally:
+        channel.close()
+
+    if args.health:
+        if not isinstance(response, HealthResponse):
+            raise ReproError(f"unexpected response {response.kind!r}")
+        payload = {"status": response.status, **response.detail}
+        if args.as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for key in sorted(payload):
+                print(f"{key}: {payload[key]}")
+        return 0 if response.status == "ok" else 1
+
+    if not isinstance(response, StatsResponse):
+        raise ReproError(f"unexpected response {response.kind!r}")
+    if args.as_json:
+        print(json.dumps(response.metrics, indent=2, sort_keys=True))
+        return 0
+    accounting = response.metrics.get("accounting", {})
+    if accounting:
+        summary = ", ".join(f"{key}={accounting[key]}"
+                            for key in sorted(accounting))
+        print(f"accounting: {summary}")
+    quota = response.metrics.get("quota")
+    if quota:
+        print(f"quota: {json.dumps(quota, sort_keys=True)}")
+    instruments = response.metrics.get("instruments", {})
+    for section in ("counters", "gauges"):
+        for entry in instruments.get(section, []):
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(entry.get("labels", {}).items()))
+            suffix = f"{{{labels}}}" if labels else ""
+            print(f"{entry['name']}{suffix} {entry['value']}")
+    for entry in instruments.get("histograms", []):
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(entry.get("labels", {}).items()))
+        suffix = f"{{{labels}}}" if labels else ""
+        print(f"{entry['name']}{suffix} count={entry['count']} "
+              f"p50={entry['p50']} p95={entry['p95']} p99={entry['p99']}")
     return 0
 
 
@@ -384,6 +537,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_concurrency_summary,
         format_fault_summary,
         format_kernel_summary,
+        format_ops_summary,
         format_serving_summary,
         format_summary,
         format_update_summary,
@@ -391,6 +545,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_concurrency_benchmarks,
         run_fault_benchmarks,
         run_kernel_benchmarks,
+        run_ops_benchmarks,
         run_serving_benchmarks,
         run_update_benchmarks,
         write_snapshot,
@@ -401,12 +556,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                  ("--concurrency", args.concurrency is not None),
                  ("--updates", args.updates),
                  ("--faults", args.faults),
-                 ("--kernels", args.kernels)) if on]
+                 ("--kernels", args.kernels),
+                 ("--ops", args.ops)) if on]
     if len(selected) > 1:
         print(f"error: {' and '.join(selected)} select different benchmark "
               "suites; pass one of them", file=sys.stderr)
         return 2
-    if args.kernels:
+    if args.ops:
+        results = run_ops_benchmarks(quick=args.quick)
+        out = args.out or "BENCH_7.json"
+        write_snapshot(results, out)
+        print(format_ops_summary(results))
+    elif args.kernels:
         results = run_kernel_benchmarks(quick=args.quick)
         out = args.out or "BENCH_6.json"
         write_snapshot(results, out)
@@ -454,6 +615,7 @@ _HANDLERS = {
     "inspect": _cmd_inspect,
     "decode": _cmd_decode,
     "serve": _cmd_serve,
+    "stats": _cmd_stats,
     "edit": _cmd_edit,
     "migrate-store": _cmd_migrate_store,
     "bench": _cmd_bench,
@@ -472,6 +634,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `... stats | head`); the
+        # interpreter would otherwise print a traceback while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":       # pragma: no cover - exercised via tests of main()

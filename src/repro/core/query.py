@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..algebra.poly import Polynomial
 from ..algebra.quotient import EncodingRing, FpQuotientRing
@@ -71,9 +72,14 @@ class AdaptiveLookahead:
     call :meth:`observe` with each round's frontier size and prune count.
     """
 
+    #: How many per-round trajectory entries are retained (newest win), so
+    #: a long-lived serving controller cannot grow without bound.
+    TRAJECTORY_LIMIT = 1024
+
     def __init__(self, initial: int = 1, min_depth: int = 0,
                  max_depth: int = 4, deepen_below: float = 0.25,
-                 backoff_above: float = 0.5) -> None:
+                 backoff_above: float = 0.5,
+                 trajectory_limit: int = TRAJECTORY_LIMIT) -> None:
         if not 0 <= min_depth <= max_depth:
             raise ValueError(
                 f"need 0 <= min_depth <= max_depth, got {min_depth}..{max_depth}")
@@ -91,6 +97,11 @@ class AdaptiveLookahead:
         #: Depth increases / decreases taken so far.
         self.deepened = 0
         self.backed_off = 0
+        #: Bounded per-round history: the prune-rate trajectory the
+        #: controller steered by, exported via :meth:`trajectory` /
+        #: :meth:`as_dict` for the observability layer and BENCH_7.
+        self._trajectory: Deque[Dict[str, float]] = deque(
+            maxlen=max(int(trajectory_limit), 1))
 
     def observe(self, frontier_size: int, pruned: int) -> int:
         """Fold one descent round's outcome in; returns the new depth."""
@@ -103,7 +114,35 @@ class AdaptiveLookahead:
             elif rate >= self.backoff_above and self.depth > self.min_depth:
                 self.depth -= 1
                 self.backed_off += 1
+            self._trajectory.append({
+                "round": self.rounds,
+                "frontier_size": int(frontier_size),
+                "pruned": int(pruned),
+                "prune_rate": rate,
+                "depth": self.depth,
+            })
         return self.depth
+
+    def trajectory(self) -> List[Dict[str, float]]:
+        """Per-round history entries, oldest first (bounded, newest win).
+
+        Each entry records the round number, the observed frontier size
+        and prune count, the resulting prune rate, and the depth the
+        controller chose *after* folding that round in.
+        """
+        return [dict(entry) for entry in self._trajectory]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary plus the trajectory (for stats/bench payloads)."""
+        return {
+            "depth": self.depth,
+            "min_depth": self.min_depth,
+            "max_depth": self.max_depth,
+            "rounds": self.rounds,
+            "deepened": self.deepened,
+            "backed_off": self.backed_off,
+            "trajectory": self.trajectory(),
+        }
 
     def __int__(self) -> int:
         return self.depth

@@ -6,7 +6,12 @@ version-checked update batches, pluggable share-store backends, the
 sync/threaded and asyncio socket servers, the client-side proxies
 (including the remote editor with conflict rebase), and the
 fault-tolerance layer (deterministic fault injection plus the retrying,
-reconnecting resilient client)."""
+reconnecting resilient client).  All layers account through the shared
+observability registry (:mod:`repro.obs`): transports, the serving core,
+the retry stack and the stores emit into one
+:class:`~repro.obs.MetricsRegistry`, surfaced in-band by the v3
+``stats``/``health`` probes and out-of-band by the plaintext scrape
+endpoint."""
 
 from .aio import (
     AsyncSearchServer,
@@ -49,7 +54,11 @@ from .messages import (
     BusyResponse,
     ConflictResponse,
     ErrorResponse,
+    HealthRequest,
+    HealthResponse,
     Message,
+    StatsRequest,
+    StatsResponse,
     UpdateRequest,
     UpdateResponse,
     decode_message,
@@ -91,6 +100,10 @@ __all__ = [
     "UpdateRequest",
     "UpdateResponse",
     "ConflictResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "HealthRequest",
+    "HealthResponse",
     "decode_message",
     "FAULT_KINDS",
     "FaultRule",

@@ -117,18 +117,26 @@ class AsyncSearchServer:
                  queue_limit: int = 0,
                  busy_retry_after_s: float = 0.05,
                  session_timeout_s: Optional[float] = 300.0,
-                 drain_timeout_s: float = 10.0) -> None:
+                 drain_timeout_s: float = 10.0,
+                 tick_size: int = 0) -> None:
         self.core = core if isinstance(core, ServingCore) else SearchServer(core)
         self.host = host
         self.requested_port = port
         self.max_frame_bytes = max_frame_bytes
-        #: Coalescer queue bound; ``0`` means unbounded.  When the queue
-        #: is full a frontier request is shed with an in-band
+        #: Coalescer backlog bound; ``0`` means unbounded.  The threshold
+        #: is enforced against the live queue-depth *gauge* (the same
+        #: number operators scrape): a frontier request arriving while
+        #: the gauge is at the limit is shed with an in-band
         #: :class:`~repro.net.messages.BusyResponse` carrying
         #: ``busy_retry_after_s`` — graceful degradation, not a dropped
         #: connection.
         self.queue_limit = int(queue_limit)
         self.busy_retry_after_s = float(busy_retry_after_s)
+        #: Cap on how many queued frontier requests one coalesced tick
+        #: drains; ``0`` means "everything queued" (the adaptive
+        #: default).  ``1`` disables coalescing entirely — the knob the
+        #: BENCH_3/BENCH_7 tick-size sweeps turn.
+        self.tick_size = int(tick_size)
         #: Per-session read/write inactivity bound; ``None`` disables it.
         #: A session that neither sends a parseable frame nor accepts a
         #: response within the bound is dropped, so one stuck peer cannot
@@ -137,24 +145,56 @@ class AsyncSearchServer:
         #: How long :meth:`stop` waits for in-flight requests to finish
         #: before cancelling what remains.
         self.drain_timeout_s = float(drain_timeout_s)
-        #: Requests shed with a busy reply (observability for tests/CLI).
-        self.shed_requests = 0
         #: Per-session byte/round-trip accounting, in accept order.  Bounded
         #: so a long-lived daemon does not accumulate one entry per
         #: connection ever made; the newest sessions win.
         self.session_stats: Deque[ChannelStats] = deque(maxlen=4096)
-        #: How many coalesced store passes the server ran.
-        self.coalesced_batches = 0
-        #: How many frontier requests those passes answered.
-        self.coalesced_requests = 0
-        #: Largest number of frontier requests answered in one pass.
-        self.largest_batch = 0
+        # Coalescer accounting lives in the serving stack's metrics
+        # registry; the attribute API below is read-only views over it.
+        metrics = self.core.metrics
+        self._shed = metrics.counter("coalescer_shed_total")
+        self._batches = metrics.counter("coalescer_batches_total")
+        self._batched_requests = metrics.counter("coalescer_requests_total")
+        self._largest_batch = metrics.gauge("coalescer_largest_batch")
+        #: Live backlog of the coalescer queue; drives the backpressure
+        #: decision in :meth:`_submit_frontier`.
+        self._queue_depth = metrics.gauge("coalescer_queue_depth")
+        self._bytes_in = metrics.counter("transport_bytes_to_server",
+                                         transport="async")
+        self._bytes_out = metrics.counter("transport_bytes_to_client",
+                                          transport="async")
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
         self._coalescer_task: Optional[asyncio.Task] = None
         self._sessions: set = set()
         #: Outstanding per-request handler tasks (for graceful draining).
         self._inflight: set = set()
+
+    # -- registry-backed accounting views ---------------------------------------------
+    @property
+    def shed_requests(self) -> int:
+        """Requests shed with a busy reply (backpressure)."""
+        return self._shed.value
+
+    @property
+    def coalesced_batches(self) -> int:
+        """How many coalesced store passes the server ran."""
+        return self._batches.value
+
+    @property
+    def coalesced_requests(self) -> int:
+        """How many frontier requests those passes answered."""
+        return self._batched_requests.value
+
+    @property
+    def largest_batch(self) -> int:
+        """Largest number of frontier requests answered in one pass."""
+        return int(self._largest_batch.value)
+
+    @property
+    def queue_depth(self) -> int:
+        """Live coalescer backlog (the scraped gauge's current value)."""
+        return int(self._queue_depth.value)
 
     # -- lifecycle -------------------------------------------------------------------
     @property
@@ -165,8 +205,13 @@ class AsyncSearchServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> "AsyncSearchServer":
-        """Bind the listener and start the coalescer (returns self)."""
-        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        """Bind the listener and start the coalescer (returns self).
+
+        The queue itself is unbounded; the backpressure bound is enforced
+        in :meth:`_submit_frontier` against the queue-depth gauge so the
+        shed decision and the scraped number can never disagree.
+        """
+        self._queue = asyncio.Queue()
         self._coalescer_task = asyncio.create_task(self._coalesce_forever())
         self._server = await asyncio.start_server(
             self._handle_session, self.host, self.requested_port)
@@ -216,12 +261,13 @@ class AsyncSearchServer:
         carried retry-after hint paces its retry.
         """
         assert self._queue is not None
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        try:
-            self._queue.put_nowait((message, future))
-        except asyncio.QueueFull:
-            self.shed_requests += 1
+        if self.queue_limit and self._queue_depth.value >= self.queue_limit:
+            self._shed.inc()
+            self.core.count_transport_shed(message, reason="backpressure")
             return BusyResponse(retry_after_s=self.busy_retry_after_s)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((message, future))
+        self._queue_depth.inc()
         return await future
 
     async def _coalesce_forever(self) -> None:
@@ -230,7 +276,9 @@ class AsyncSearchServer:
         While a pass is being evaluated in the executor, newly arriving
         requests pile up in the queue and form the next tick's batch —
         under concurrent load the batch size converges on the number of
-        active sessions without any timer.
+        active sessions without any timer.  A non-zero :attr:`tick_size`
+        caps the drain (``1`` disables coalescing) so the tick-size
+        sweeps can measure what the batching is actually worth.
         """
         assert self._queue is not None
         loop = asyncio.get_running_loop()
@@ -238,8 +286,9 @@ class AsyncSearchServer:
             item = await self._queue.get()
             if item is None:
                 return
+            self._queue_depth.dec()
             batch: List[Tuple[FrontierRequest, asyncio.Future]] = [item]
-            while True:
+            while self.tick_size <= 0 or len(batch) < self.tick_size:
                 try:
                     extra = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
@@ -247,6 +296,7 @@ class AsyncSearchServer:
                 if extra is None:
                     await self._finish_batch(loop, batch)
                     return
+                self._queue_depth.dec()
                 batch.append(extra)
             await self._finish_batch(loop, batch)
 
@@ -264,9 +314,10 @@ class AsyncSearchServer:
                 None, self.core.frontier_batch, messages)
         except Exception as exc:  # noqa: BLE001 - coalescer must survive
             responses = [ErrorResponse(str(exc)) for _ in batch]
-        self.coalesced_batches += 1
-        self.coalesced_requests += len(batch)
-        self.largest_batch = max(self.largest_batch, len(batch))
+        self._batches.inc()
+        self._batched_requests.inc(len(batch))
+        if len(batch) > self._largest_batch.value:
+            self._largest_batch.set(len(batch))
         for (_, future), response in zip(batch, responses):
             if not future.done():
                 future.set_result(response)
@@ -305,6 +356,7 @@ class AsyncSearchServer:
                 for payload in payloads:
                     stats.bytes_to_server += len(payload)
                     stats.requests += 1
+                    self._bytes_in.inc(len(payload))
                     # Pipelining: keep reading while this request is
                     # handled; the writer preserves request order.
                     answer = asyncio.ensure_future(self._answer(payload))
@@ -388,6 +440,7 @@ class AsyncSearchServer:
                 return
             stats.bytes_to_client += len(frame) - FRAME_HEADER_BYTES
             stats.responses += 1
+            self._bytes_out.inc(len(frame) - FRAME_HEADER_BYTES)
 
 
 class AsyncServerInterface:
@@ -766,7 +819,8 @@ def start_async_server(core: Union[ServingCore, object],
                        queue_limit: int = 0,
                        busy_retry_after_s: float = 0.05,
                        session_timeout_s: Optional[float] = 300.0,
-                       drain_timeout_s: float = 10.0) -> AsyncServerHandle:
+                       drain_timeout_s: float = 10.0,
+                       tick_size: int = 0) -> AsyncServerHandle:
     """Run an :class:`AsyncSearchServer` on a fresh background event loop."""
     loop = asyncio.new_event_loop()
     server = AsyncSearchServer(core, host=host, port=port,
@@ -774,7 +828,8 @@ def start_async_server(core: Union[ServingCore, object],
                                queue_limit=queue_limit,
                                busy_retry_after_s=busy_retry_after_s,
                                session_timeout_s=session_timeout_s,
-                               drain_timeout_s=drain_timeout_s)
+                               drain_timeout_s=drain_timeout_s,
+                               tick_size=tick_size)
     started = threading.Event()
     failure: List[BaseException] = []
 

@@ -35,6 +35,7 @@ from ..errors import (
     TransientServerError,
     TransportError,
 )
+from ..obs import MetricsRegistry
 from .framing import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
@@ -48,15 +49,69 @@ __all__ = ["ChannelStats", "LatencyModel", "InstrumentedChannel",
 
 
 class ChannelStats:
-    """Byte and message accounting for one channel."""
+    """Byte and message accounting for one channel, as a registry view.
 
-    __slots__ = ("bytes_to_server", "bytes_to_client", "requests", "responses")
+    Historically this class held four plain integers.  It is now a view
+    over four :class:`~repro.obs.metrics.Counter` instruments, so channel
+    accounting flows through the same :class:`~repro.obs.MetricsRegistry`
+    as every other operational signal.  The attribute API is unchanged:
+    ``stats.bytes_to_server += n`` still works (property getter + setter),
+    as do ``as_dict``/``reset``/``total_bytes``/``round_trips``.
 
-    def __init__(self) -> None:
-        self.bytes_to_server = 0
-        self.bytes_to_client = 0
-        self.requests = 0
-        self.responses = 0
+    Constructed bare (``ChannelStats()``) the view owns a private
+    registry — per-session accounting stays isolated, exactly as the old
+    integers did.  Passing ``registry=`` (plus optional label dimensions)
+    shares instruments with a serving stack's registry instead.
+    """
+
+    __slots__ = ("registry", "_to_server", "_to_client", "_requests",
+                 "_responses")
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None,
+                 **labels: str) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._to_server = registry.counter("channel_bytes_to_server", **labels)
+        self._to_client = registry.counter("channel_bytes_to_client", **labels)
+        self._requests = registry.counter("channel_requests_total", **labels)
+        self._responses = registry.counter("channel_responses_total", **labels)
+
+    @property
+    def bytes_to_server(self) -> int:
+        """Bytes sent client→server."""
+        return self._to_server.value
+
+    @bytes_to_server.setter
+    def bytes_to_server(self, value: int) -> None:
+        self._to_server.set(value)
+
+    @property
+    def bytes_to_client(self) -> int:
+        """Bytes sent server→client."""
+        return self._to_client.value
+
+    @bytes_to_client.setter
+    def bytes_to_client(self, value: int) -> None:
+        self._to_client.set(value)
+
+    @property
+    def requests(self) -> int:
+        """Requests sent."""
+        return self._requests.value
+
+    @requests.setter
+    def requests(self, value: int) -> None:
+        self._requests.set(value)
+
+    @property
+    def responses(self) -> int:
+        """Responses received."""
+        return self._responses.value
+
+    @responses.setter
+    def responses(self, value: int) -> None:
+        self._responses.set(value)
 
     @property
     def total_bytes(self) -> int:
@@ -79,10 +134,10 @@ class ChannelStats:
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.bytes_to_server = 0
-        self.bytes_to_client = 0
-        self.requests = 0
-        self.responses = 0
+        self._to_server.reset()
+        self._to_client.reset()
+        self._requests.reset()
+        self._responses.reset()
 
     def __repr__(self) -> str:
         return (f"ChannelStats(to_server={self.bytes_to_server}B, "

@@ -55,10 +55,14 @@ from .messages import (
     FetchPolynomialsResponse,
     FrontierRequest,
     FrontierResponse,
+    HealthRequest,
+    HealthResponse,
     HelloRequest,
     HelloResponse,
     Message,
     PruneNotice,
+    StatsRequest,
+    StatsResponse,
     StructureRequest,
     StructureResponse,
     UpdateRequest,
@@ -241,6 +245,33 @@ class RemoteServerAdapter(ServerInterface):
         if not isinstance(response, UpdateResponse):
             raise ProtocolError(f"unexpected response {response.kind!r}")
         return response
+
+    # -- v3 control plane ------------------------------------------------------------
+    def server_stats(self) -> Dict[str, object]:
+        """Fetch the server's metrics snapshot (v3 ``stats`` probe).
+
+        When this session is bound to a document, the server filters the
+        snapshot to instruments without a document label plus those
+        belonging to that document, and includes the tenant's admission
+        ledger — one tenant cannot read another's traffic.
+        """
+        if self.protocol_version < 3:
+            raise ProtocolError(
+                f"the stats probe needs protocol v3; this session "
+                f"negotiated v{self.protocol_version}")
+        response = self._request(StatsRequest(), StatsResponse)
+        return response.metrics
+
+    def server_health(self) -> Dict[str, object]:
+        """Fetch the server's health summary (v3 ``health`` probe)."""
+        if self.protocol_version < 3:
+            raise ProtocolError(
+                f"the health probe needs protocol v3; this session "
+                f"negotiated v{self.protocol_version}")
+        response = self._request(HealthRequest(), HealthResponse)
+        summary: Dict[str, object] = {"status": response.status}
+        summary.update(response.detail)
+        return summary
 
     # -- extras used by baselines -------------------------------------------------------
     def download_blob(self) -> bytes:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -41,6 +42,7 @@ from ..errors import (
     ServerBusyError,
     TransientServerError,
 )
+from ..obs import FairShareAdmission, MetricsRegistry
 from .messages import (
     SUPPORTED_PROTOCOL_VERSIONS,
     Acknowledgement,
@@ -59,10 +61,14 @@ from .messages import (
     FetchPolynomialsResponse,
     FrontierRequest,
     FrontierResponse,
+    HealthRequest,
+    HealthResponse,
     HelloRequest,
     HelloResponse,
     Message,
     PruneNotice,
+    StatsRequest,
+    StatsResponse,
     StructureRequest,
     StructureResponse,
     UpdateRequest,
@@ -185,14 +191,28 @@ AdmissionHook = Callable[["HostedDocument", Message], Optional[float]]
 
 
 class DocumentRegistry:
-    """Thread-safe name → :class:`HostedDocument` mapping."""
+    """Thread-safe name → :class:`HostedDocument` mapping.
 
-    def __init__(self) -> None:
+    The registry also owns the serving stack's control plane: one
+    :class:`~repro.obs.MetricsRegistry` (every component of the stack
+    emits into it) and one :class:`~repro.obs.FairShareAdmission`
+    instance holding per-tenant token-bucket quotas.  The PR 6 admission
+    *hooks* are retained for bespoke policies (maintenance drains,
+    kind-selective shedding); declarative quotas go through
+    :meth:`configure_quota` and are enforced after the hooks.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 admission: Optional[FairShareAdmission] = None) -> None:
         self._documents: Dict[str, HostedDocument] = {}
         self._lock = threading.Lock()
         # Admission hooks keyed by document id; the ``None`` key is the
         # registry-wide default consulted when no per-tenant hook exists.
         self._admission: Dict[Optional[str], AdmissionHook] = {}
+        #: The serving stack's single metrics registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Declarative per-tenant quotas (weighted fair-share admission).
+        self.quotas = admission if admission is not None else FairShareAdmission()
 
     def add(self, document_id: str, store: Any,
             encrypted_blob: Optional[bytes] = None) -> HostedDocument:
@@ -204,6 +224,9 @@ class DocumentRegistry:
                 raise ProtocolError(
                     f"document {document.document_id!r} is already hosted")
             self._documents[document.document_id] = document
+        bind = getattr(document.store, "bind_metrics", None)
+        if bind is not None:
+            bind(self.metrics, document.document_id)
         return document
 
     def remove(self, document_id: str) -> HostedDocument:
@@ -262,19 +285,50 @@ class DocumentRegistry:
             else:
                 self._admission[document_id] = hook
 
+    def configure_quota(self, document_id: str, rate_per_s: float,
+                        burst: Optional[float] = None,
+                        weight: float = 1.0) -> None:
+        """Give a tenant a guaranteed token-bucket quota and a fair-share weight.
+
+        ``rate_per_s`` requests per second accrue up to ``burst`` (default:
+        one second's worth).  When the tenant's own bucket is empty it may
+        borrow from the shared pool configured via
+        :meth:`configure_shared_pool`, weighted by ``weight``.  Requests
+        over quota are shed gracefully with an in-band busy reply carrying
+        a retry-after hint.
+        """
+        self.quotas.set_quota(str(document_id), rate_per_s, burst, weight)
+
+    def configure_shared_pool(self, rate_per_s: float,
+                              burst: Optional[float] = None) -> None:
+        """Configure the shared overflow pool tenants borrow from."""
+        self.quotas.set_pool(rate_per_s, burst)
+
+    def clear_quota(self, document_id: str) -> None:
+        """Remove a tenant's quota (it becomes unlimited again)."""
+        self.quotas.clear_quota(str(document_id))
+
+    def quota_ledger(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant admitted/shed/borrowed accounting from the quota layer."""
+        return self.quotas.ledger()
+
     def admit(self, document: HostedDocument, message: Message) -> None:
-        """Consult the admission hooks; raises ``ServerBusyError`` to shed."""
+        """Consult admission hooks, then quotas; raises ``ServerBusyError`` to shed."""
         with self._lock:
             hook = self._admission.get(document.document_id,
                                        self._admission.get(None))
-        if hook is None:
-            return
-        retry_after_s = hook(document, message)
+        if hook is not None:
+            retry_after_s = hook(document, message)
+            if retry_after_s is not None:
+                raise ServerBusyError(
+                    f"document {document.document_id!r} is not admitting "
+                    f"{message.kind!r} requests right now",
+                    retry_after_s=retry_after_s)
+        retry_after_s = self.quotas.try_admit(document.document_id)
         if retry_after_s is not None:
             raise ServerBusyError(
-                f"document {document.document_id!r} is not admitting "
-                f"{message.kind!r} requests right now",
-                retry_after_s=retry_after_s)
+                f"document {document.document_id!r} is over its admission "
+                "quota", retry_after_s=retry_after_s)
 
     def document_ids(self) -> List[str]:
         """All hosted document ids, sorted."""
@@ -320,9 +374,18 @@ class ServingCore:
     #: Retained encoded responses per idempotency key (LRU).
     IDEMPOTENCY_CACHE_SIZE = 4096
 
+    #: Message kinds that address the server, not a document, when
+    #: unqualified — they never trigger document resolution for labels.
+    CONTROL_KINDS = ("hello", "stats", "health")
+
     def __init__(self, registry: Optional[DocumentRegistry] = None,
                  idempotency_cache_size: int = IDEMPOTENCY_CACHE_SIZE) -> None:
         self.registry = registry if registry is not None else DocumentRegistry()
+        #: The serving stack's single metrics registry (owned by the
+        #: document registry so stores, transports, and the engine all
+        #: emit into one place).
+        self.metrics = self.registry.metrics
+        self._inflight = self.metrics.gauge("server_inflight_requests")
         #: Aggregate honest-but-curious view across every hosted document.
         self.observations = ServerObservations()
         # The aggregate ledger is shared by every session and document;
@@ -381,16 +444,127 @@ class ServingCore:
         return ErrorResponse(str(exc),
                              retryable=isinstance(exc, TransientServerError))
 
+    # -- accounting ----------------------------------------------------------------
+    def _document_label(self, message: Message) -> str:
+        """The ``document`` label a request's metrics are filed under."""
+        if message.document_id is not None:
+            return message.document_id
+        if message.kind in self.CONTROL_KINDS:
+            return "-"
+        try:
+            return self.registry.resolve(None).document_id
+        except ReproError:
+            return DEFAULT_DOCUMENT
+
+    def _request_admitted(self, kind: str, document: str) -> None:
+        self.metrics.counter("server_requests_total",
+                             document=document, kind=kind).inc()
+        self._inflight.inc()
+
+    def _request_finished(self, kind: str, document: str, outcome: str,
+                          elapsed_s: float, reason: str = "admission") -> None:
+        self._inflight.dec()
+        if outcome == "shed":
+            self.metrics.counter("server_requests_shed_total",
+                                 document=document, kind=kind,
+                                 reason=reason).inc()
+        elif outcome == "failed":
+            self.metrics.counter("server_requests_failed_total",
+                                 document=document, kind=kind).inc()
+        else:
+            self.metrics.counter("server_requests_completed_total",
+                                 document=document, kind=kind).inc()
+        self.metrics.histogram("server_request_seconds",
+                               document=document,
+                               kind=kind).observe(elapsed_s)
+
+    def count_transport_shed(self, message: Message,
+                             reason: str = "backpressure") -> None:
+        """Account a request a transport shed before it reached the engine.
+
+        The asyncio coalescer sheds on a full queue without calling
+        :meth:`handle`; counting the shed here keeps the reconciliation
+        invariant (total = completed + shed + failed) true across the
+        whole stack, not just inside the engine.
+        """
+        label = self._document_label(message)
+        self.metrics.counter("server_requests_total",
+                             document=label, kind=message.kind).inc()
+        self.metrics.counter("server_requests_shed_total",
+                             document=label, kind=message.kind,
+                             reason=reason).inc()
+
+    def accounting(self, document_id: Optional[str] = None) -> Dict[str, int]:
+        """The reconciliation view: admitted vs completed + shed + failed.
+
+        Sums the request counters across every label set (optionally
+        restricted to one ``document``).  At any quiescent moment
+        ``admitted == completed + shed + failed`` and ``inflight == 0``;
+        the chaos suite asserts exactly that.
+        """
+        labels = {} if document_id is None else {"document": document_id}
+        return {
+            "admitted": self.metrics.counter_total(
+                "server_requests_total", **labels),
+            "completed": self.metrics.counter_total(
+                "server_requests_completed_total", **labels),
+            "shed": self.metrics.counter_total(
+                "server_requests_shed_total", **labels),
+            "failed": self.metrics.counter_total(
+                "server_requests_failed_total", **labels),
+            "inflight": int(self._inflight.value),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Coarse, tenant-free vitals for health probes and the scrape endpoint."""
+        return {
+            "status": "ok",
+            "documents": len(self.registry),
+            "inflight": int(self._inflight.value),
+            "requests_total": self.metrics.counter_total(
+                "server_requests_total"),
+        }
+
     # -- message dispatch ----------------------------------------------------------
     def handle(self, message: Message) -> Message:
-        """Answer one request message."""
+        """Answer one request message.
+
+        Every request is accounted in the metrics registry: admitted on
+        entry, then exactly one of completed / shed (a busy reply) /
+        failed (an error) on exit, plus a latency observation — replays
+        answered from the idempotency cache count as completed.
+        """
+        started = time.perf_counter()
+        label = self._document_label(message)
+        self._request_admitted(message.kind, label)
+        outcome = "failed"
+        try:
+            response = self._handle_inner(message)
+        except ServerBusyError:
+            outcome = "shed"
+            raise
+        else:
+            outcome = "completed"
+            return response
+        finally:
+            self._request_finished(message.kind, label, outcome,
+                                   time.perf_counter() - started)
+
+    def _handle_inner(self, message: Message) -> Message:
         cached = self._idempotent_lookup(message)
         if cached is not None:
             return cached
         with self._observations_lock:
             self.observations.requests_handled += 1
+        # The operational probes are hello-exempt (no negotiation needed)
+        # and admission-exempt (a shed tenant may still observe that it
+        # is being shed).
         if isinstance(message, HelloRequest):
             return self._handle_hello(message)
+        if isinstance(message, StatsRequest):
+            return self._handle_stats(message)
+        if isinstance(message, HealthRequest):
+            return self._handle_health(message)
         document = self.registry.resolve(message.document_id)
         self.registry.admit(document, message)
         with self._observations_lock:
@@ -447,15 +621,23 @@ class ServingCore:
         """
         groups: Dict[str, Tuple[HostedDocument, List[int]]] = {}
         responses: List[Optional[Message]] = [None] * len(messages)
+        started = time.perf_counter()
+        labels: List[str] = []
         for index, message in enumerate(messages):
             if not isinstance(message, FrontierRequest):
                 raise ProtocolError(
                     f"frontier_batch cannot handle {message.kind!r} requests")
+            label = self._document_label(message)
+            labels.append(label)
+            self._request_admitted(message.kind, label)
             cached = self._idempotent_lookup(message)
             if cached is not None:
                 # A replay: answer bit-identically without re-counting it
-                # anywhere or folding it into the coalesced passes.
+                # in the observation ledgers or folding it into the
+                # coalesced passes (metrics file it as completed).
                 responses[index] = cached
+                self._request_finished(message.kind, label, "completed",
+                                       time.perf_counter() - started)
                 continue
             with self._observations_lock:
                 self.observations.requests_handled += 1
@@ -464,6 +646,10 @@ class ServingCore:
                 self.registry.admit(document, message)
             except ReproError as exc:
                 responses[index] = self.error_response(exc)
+                outcome = ("shed" if isinstance(exc, ServerBusyError)
+                           else "failed")
+                self._request_finished(message.kind, label, outcome,
+                                       time.perf_counter() - started)
                 continue
             with self._observations_lock:
                 document.observations.requests_handled += 1
@@ -484,9 +670,17 @@ class ServingCore:
                                                             [message])[0])
                     except ReproError as exc:
                         answered.append(self.error_response(exc))
+            elapsed = time.perf_counter() - started
             for index, message, response in zip(indices, group, answered):
                 responses[index] = response
                 self._idempotent_store(message, response)
+                outcome = "completed"
+                if isinstance(response, BusyResponse):
+                    outcome = "shed"
+                elif isinstance(response, ErrorResponse):
+                    outcome = "failed"
+                self._request_finished(message.kind, labels[index], outcome,
+                                       elapsed)
         return responses  # type: ignore[return-value]
 
     # -- observation plumbing ---------------------------------------------------------
@@ -536,6 +730,41 @@ class ServingCore:
                 node_count = document.store.node_count()
         return HelloResponse(version, documents=documents,
                              root_id=root_id, node_count=node_count)
+
+    def _handle_stats(self, message: StatsRequest) -> StatsResponse:
+        """Tenant-filtered metrics snapshot.
+
+        Label privacy mirrors :meth:`_handle_hello`: a request without a
+        ``document_id`` gets only label-free, server-wide instruments
+        plus aggregate accounting; a request addressing a document gets
+        those plus the instruments labelled with *that* document — never
+        another tenant's labels or traffic figures.
+        """
+        wanted = message.document_id
+        snapshot = self.metrics.snapshot()
+        instruments: Dict[str, List[Dict[str, Any]]] = {}
+        for section, entries in snapshot.items():
+            kept = []
+            for entry in entries:
+                labels = entry.get("labels", {})
+                document_label = labels.get("document")
+                if document_label is None or document_label == wanted:
+                    kept.append(entry)
+            instruments[section] = kept
+        metrics: Dict[str, Any] = {
+            "instruments": instruments,
+            "accounting": self.accounting(wanted),
+        }
+        if wanted is not None:
+            ledger = self.registry.quota_ledger().get(wanted)
+            if ledger is not None:
+                metrics["quota"] = ledger
+        return StatsResponse(metrics)
+
+    def _handle_health(self, message: HealthRequest) -> HealthResponse:
+        """Liveness probe: always answers while the engine is running."""
+        detail = self.health()
+        return HealthResponse(detail.pop("status"), detail)
 
     def _handle_structure(self, document: HostedDocument) -> StructureResponse:
         root_id = document.store.root_id

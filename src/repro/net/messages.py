@@ -24,7 +24,10 @@ Two protocol generations coexist:
   :class:`UpdateResponse` confirms a committed batch and returns the new
   per-node versions; :class:`ConflictResponse` rejects a batch whose base
   versions no longer match (another writer got there first) and names the
-  conflicting node ids so the client can refetch and rebase.
+  conflicting node ids so the client can refetch and rebase.  v3 also
+  adds the operational probes :class:`StatsRequest`/:class:`StatsResponse`
+  and :class:`HealthRequest`/:class:`HealthResponse` — hello-exempt like
+  the hello itself, admission-exempt, and tenant-filtered on the way out.
 
 Every message additionally carries an optional ``document_id`` so one
 server can host many outsourced documents; omitting it (the v1 encoding)
@@ -78,6 +81,10 @@ __all__ = [
     "Acknowledgement",
     "ErrorResponse",
     "BusyResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "HealthRequest",
+    "HealthResponse",
     "BlobRequest",
     "BlobResponse",
     "decode_message",
@@ -627,6 +634,70 @@ class BusyResponse(Message):
         return cls(body.get("retry_after_s", 0.0))
 
 
+class StatsRequest(Message):
+    """Ask the server for its operational metrics (v3, hello-exempt).
+
+    Like the hello exchange, a stats probe needs no prior negotiation —
+    operators poke running servers with standalone tools.  It is also
+    admission-exempt: a tenant over quota can still observe that it is
+    being shed.  The response is tenant-filtered (see
+    :class:`StatsResponse`).
+    """
+
+    kind = "stats"
+
+
+class StatsResponse(Message):
+    """Tenant-filtered metrics snapshot.
+
+    ``metrics`` is the JSON form of a
+    :meth:`~repro.obs.MetricsRegistry.snapshot`, filtered by the serving
+    engine so a requester without a ``document_id`` sees only
+    server-wide, label-free aggregates, and a requester addressing a
+    document sees only instruments labelled with *that* document —
+    never another tenant's identifiers or traffic figures.
+    """
+
+    kind = "stats-ok"
+
+    def __init__(self, metrics: Dict[str, Any]) -> None:
+        self.metrics = dict(metrics)
+
+    def payload(self) -> Dict[str, Any]:
+        return {"metrics": self.metrics}
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "StatsResponse":
+        return cls(body["metrics"])
+
+
+class HealthRequest(Message):
+    """Liveness/readiness probe (v3, hello- and admission-exempt)."""
+
+    kind = "health"
+
+
+class HealthResponse(Message):
+    """The server's health verdict plus coarse, tenant-free vitals."""
+
+    kind = "health-ok"
+
+    def __init__(self, status: str = "ok",
+                 detail: Optional[Dict[str, Any]] = None) -> None:
+        self.status = str(status)
+        self.detail = dict(detail or {})
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"status": self.status}
+        if self.detail:
+            body["detail"] = self.detail
+        return body
+
+    @classmethod
+    def from_payload(cls, body: Dict[str, Any]) -> "HealthResponse":
+        return cls(body["status"], body.get("detail"))
+
+
 class BlobRequest(Message):
     """Download-everything baseline: ask for the whole encrypted blob."""
 
@@ -657,6 +728,7 @@ _MESSAGE_TYPES = {
         FetchPolynomialsResponse, FetchConstantsRequest, FetchConstantsResponse,
         PruneNotice, UpdateRequest, UpdateResponse, ConflictResponse,
         Acknowledgement, ErrorResponse, BusyResponse,
+        StatsRequest, StatsResponse, HealthRequest, HealthResponse,
         BlobRequest, BlobResponse,
     )
 }

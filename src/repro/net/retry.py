@@ -54,6 +54,7 @@ from ..errors import (
     TransientServerError,
     TransportError,
 )
+from ..obs import MetricsRegistry
 from .channel import ChannelStats, LatencyModel, SocketChannel
 from .client import RemoteServerAdapter
 from .messages import HelloRequest, HelloResponse, Message
@@ -132,28 +133,58 @@ class ResilientChannel:
     fault-free run of the same lookups would record, so bandwidth
     figures stay comparable under injected faults.  The physical cost of
     recovery is reported separately via ``retries``, ``reconnects`` and
-    ``busy_waits``.
+    ``busy_waits`` — read-only views over counters in the channel's
+    :class:`~repro.obs.MetricsRegistry`, next to two latency histograms:
+    ``client_attempt_physical_seconds`` times every individual wire
+    attempt (failures included), ``client_request_logical_seconds``
+    times whole ``request()`` calls — backoff sleeps, reconnects and
+    replays folded in — so the gap between the two distributions *is*
+    the client-visible cost of recovery.
     """
 
     def __init__(self, channel_factory: Callable[[], object],
                  policy: Optional[RetryPolicy] = None,
-                 request_id_prefix: Optional[str] = None) -> None:
+                 request_id_prefix: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.channel_factory = channel_factory
         self.policy = policy if policy is not None else RetryPolicy()
         #: Unique per session so two clients never collide on a key;
         #: injectable for byte-deterministic tests.
         self.request_id_prefix = (request_id_prefix if request_id_prefix
                                   is not None else uuid.uuid4().hex[:12])
-        self.stats = ChannelStats()
+        #: Private per client unless a shared registry is passed in.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ChannelStats(self.metrics)
         self.transcript: List[Tuple[str, str]] = []
-        self.retries = 0
-        self.reconnects = 0
-        self.busy_waits = 0
+        self._retry_counter = self.metrics.counter("client_retries_total")
+        self._reconnect_counter = self.metrics.counter(
+            "client_reconnects_total")
+        self._busy_counter = self.metrics.counter("client_busy_waits_total")
+        self._physical_seconds = self.metrics.histogram(
+            "client_attempt_physical_seconds")
+        self._logical_seconds = self.metrics.histogram(
+            "client_request_logical_seconds")
         self._channel: Optional[object] = None
         self._request_counter = 0
         self._retries_spent = 0
         self._hello_request: Optional[HelloRequest] = None
         self._negotiated_version: Optional[int] = None
+
+    # -- registry-backed accounting views --------------------------------------
+    @property
+    def retries(self) -> int:
+        """Replayed attempts across the session (all failure classes)."""
+        return self._retry_counter.value
+
+    @property
+    def reconnects(self) -> int:
+        """Fresh channels built after a transport failure."""
+        return self._reconnect_counter.value
+
+    @property
+    def busy_waits(self) -> int:
+        """In-band busy replies honoured with a paced wait."""
+        return self._busy_counter.value
 
     # -- connection management -------------------------------------------------
     def _drop_channel(self) -> None:
@@ -172,7 +203,7 @@ class ResilientChannel:
             return self._channel
         channel = self.channel_factory()
         if self.stats.requests or self.retries or self._hello_request is not None:
-            self.reconnects += 1
+            self._reconnect_counter.inc()
         if self._hello_request is not None and not negotiating:
             # Restore the session contract on the new connection before
             # replaying the interrupted request.  A server that now
@@ -208,12 +239,14 @@ class ResilientChannel:
             self._request_counter += 1
             message.with_request_id(
                 f"{self.request_id_prefix}-{self._request_counter}")
-        deadline = (policy.clock() + policy.deadline_s
+        started = policy.clock()
+        deadline = (started + policy.deadline_s
                     if policy.deadline_s is not None else None)
         attempt = 0
         while True:
             attempt += 1
             failure: Exception
+            attempt_started = policy.clock()
             try:
                 channel = self._ensure_channel(negotiating)
                 response = channel.request(message)
@@ -221,7 +254,7 @@ class ResilientChannel:
                 # The session is healthy — honour the server's hint.
                 failure = exc
                 delay = max(exc.retry_after_s, policy.backoff_s(attempt))
-                self.busy_waits += 1
+                self._busy_counter.inc()
             except TransientServerError as exc:
                 failure = exc
                 delay = policy.backoff_s(attempt)
@@ -238,7 +271,14 @@ class ResilientChannel:
                 self.stats.requests += 1
                 self.stats.responses += 1
                 self.transcript.append((message.kind, response.kind))
+                self._logical_seconds.observe(policy.clock() - started)
                 return response
+            finally:
+                # Physical timing covers every individual wire attempt,
+                # failed ones included; the logical histogram above only
+                # sees whole successful request() calls.
+                self._physical_seconds.observe(
+                    policy.clock() - attempt_started)
             if attempt >= policy.max_attempts:
                 raise RetryExhaustedError(
                     f"{message.kind!r} request failed after {attempt} "
@@ -254,7 +294,7 @@ class ResilientChannel:
                     f"({policy.deadline_s}s) exceeded after {attempt} "
                     f"attempts: {failure}") from failure
             self._retries_spent += 1
-            self.retries += 1
+            self._retry_counter.inc()
             policy.sleep(delay)
 
     # -- channel surface -------------------------------------------------------

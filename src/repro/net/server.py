@@ -37,7 +37,12 @@ from .engine import (
     ServerObservations,
     ServingCore,
 )
-from .framing import MAX_FRAME_BYTES, FrameAssembler, encode_frame
+from .framing import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    encode_frame,
+)
 from .messages import ErrorResponse, decode_message
 from .store import InMemoryShareStore, ShareStore
 
@@ -97,6 +102,13 @@ class _FrameSessionHandler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:  # noqa: D102 - socketserver protocol
         server: "ThreadedSearchServer" = self.server  # type: ignore[assignment]
+        server._sessions_gauge.inc()
+        try:
+            self._serve_session(server)
+        finally:
+            server._sessions_gauge.dec()
+
+    def _serve_session(self, server: "ThreadedSearchServer") -> None:
         assembler = FrameAssembler(server.max_frame_bytes)
         self.request.settimeout(server.session_timeout_s)
         while True:
@@ -112,6 +124,7 @@ class _FrameSessionHandler(socketserver.BaseRequestHandler):
                 break  # unframeable stream: drop the session
             for payload in payloads:
                 server._request_started()
+                server._bytes_in.inc(len(payload))
                 try:
                     response = server.core.handle(decode_message(payload))
                 except ReproError as exc:
@@ -134,6 +147,7 @@ class _FrameSessionHandler(socketserver.BaseRequestHandler):
                     self.request.sendall(frame)
                 except OSError:
                     return
+                server._bytes_out.inc(len(frame) - FRAME_HEADER_BYTES)
 
 
 class ThreadedSearchServer(socketserver.ThreadingTCPServer):
@@ -160,6 +174,14 @@ class ThreadedSearchServer(socketserver.ThreadingTCPServer):
         self.session_timeout_s = session_timeout_s
         #: How long :meth:`stop` waits for in-flight requests to finish.
         self.drain_timeout_s = drain_timeout_s
+        # Transport accounting flows into the serving stack's registry.
+        metrics = core.metrics
+        self._bytes_in = metrics.counter("transport_bytes_to_server",
+                                         transport="threaded")
+        self._bytes_out = metrics.counter("transport_bytes_to_client",
+                                          transport="threaded")
+        self._sessions_gauge = metrics.gauge("transport_active_sessions",
+                                             transport="threaded")
         super().__init__((host, port), _FrameSessionHandler)
         self._serve_thread: Optional[threading.Thread] = None
         self._inflight = 0

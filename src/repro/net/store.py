@@ -36,6 +36,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -88,6 +89,42 @@ class ShareStore(abc.ABC):
 
     #: The encoding ring of the stored polynomials.
     ring: EncodingRing
+
+    # Metrics instruments, bound when the store becomes a hosted document
+    # (:meth:`bind_metrics`); ``None`` until then, so an unhosted store
+    # pays nothing.
+    _metrics = None
+    _metrics_document = ""
+    _txn_seconds = None
+    _cache_hits = None
+    _cache_misses = None
+
+    # -- observability ----------------------------------------------------------------
+    def bind_metrics(self, metrics: Any, document_id: str) -> None:
+        """Emit this store's operational signals into ``metrics``.
+
+        Called by :meth:`~repro.net.engine.DocumentRegistry.add` when the
+        store is hosted.  Binds transaction latency
+        (``store_transaction_seconds``) and page-cache hit/miss counters
+        (``store_cache_hits_total``/``store_cache_misses_total``), all
+        labelled with the hosting document; durable backends additionally
+        report recovery events (``store_recovery_total``).
+        """
+        self._metrics = metrics
+        self._metrics_document = str(document_id)
+        self._txn_seconds = metrics.histogram(
+            "store_transaction_seconds", document=self._metrics_document)
+        self._cache_hits = metrics.counter(
+            "store_cache_hits_total", document=self._metrics_document)
+        self._cache_misses = metrics.counter(
+            "store_cache_misses_total", document=self._metrics_document)
+
+    def _record_recovery(self, result: str) -> None:
+        """Count one WAL recovery outcome ("replayed"/"rolled-back")."""
+        if self._metrics is not None and result != "clean":
+            self._metrics.counter(
+                "store_recovery_total", document=self._metrics_document,
+                result=result).inc()
 
     # -- read side (what the query protocol needs) ---------------------------------
     @property
@@ -165,6 +202,14 @@ class ShareStore(abc.ABC):
         site, one lock round on backends that lock per call) but no crash
         atomicity — memory-backed stores have no durable state to tear.
         """
+        started = time.perf_counter()
+        try:
+            self._apply_ops(ops)
+        finally:
+            if self._txn_seconds is not None:
+                self._txn_seconds.observe(time.perf_counter() - started)
+
+    def _apply_ops(self, ops: Sequence[Tuple]) -> None:
         for op in ops:
             kind = op[0]
             if kind == "add":
@@ -621,7 +666,11 @@ class SQLiteShareStore(ShareStore):
             entry = self._cache.get(node_id)
             if entry is not None:
                 self._cache.move_to_end(node_id)
+                if self._cache_hits is not None:
+                    self._cache_hits.inc()
                 return self._entry_share(node_id, entry)
+            if self._cache_misses is not None:
+                self._cache_misses.inc()
             blob = self._load_blob(node_id)
             if blob is None:
                 raise SharingError(f"unknown node id {node_id}")
@@ -657,6 +706,12 @@ class SQLiteShareStore(ShareStore):
                 elif node_id not in entries:
                     entries[node_id] = None
                     misses.append(node_id)
+            if self._cache_hits is not None:
+                hits = len(entries) - len(misses)
+                if hits:
+                    self._cache_hits.inc(hits)
+                if misses:
+                    self._cache_misses.inc(len(misses))
             if misses:
                 blobs: Dict[int, List[bytes]] = {}
                 for start in range(0, len(misses), _SQL_CHUNK):
@@ -736,6 +791,16 @@ class SQLiteShareStore(ShareStore):
             row = self._conn.execute(
                 "SELECT 1 FROM nodes WHERE node_id = ?", (node_id,)).fetchone()
         return row is not None
+
+    def bind_metrics(self, metrics: Any, document_id: str) -> None:
+        """Bind instruments, back-reporting the open-time recovery outcome.
+
+        A store that replayed or rolled back its application WAL did so
+        *before* it was hosted; recording it at bind time means the event
+        still shows up in ``store_recovery_total`` for operators.
+        """
+        super().bind_metrics(metrics, document_id)
+        self._record_recovery(self.last_recovery)
 
     def cached_share_count(self) -> int:
         """How many share polynomials are currently resident (lazy-load probe)."""
@@ -847,6 +912,14 @@ class SQLiteShareStore(ShareStore):
         """
         if not ops:
             return
+        started = time.perf_counter()
+        try:
+            self._apply_batch_logged(ops)
+        finally:
+            if self._txn_seconds is not None:
+                self._txn_seconds.observe(time.perf_counter() - started)
+
+    def _apply_batch_logged(self, ops: Sequence[Tuple]) -> None:
         with self._lock:
             records = self._build_intent(ops)
             with self._conn:
@@ -885,6 +958,7 @@ class SQLiteShareStore(ShareStore):
         """
         try:
             self.last_recovery = wal.recover(self._conn, self.page_bytes)
+            self._record_recovery(self.last_recovery)
             self._cache.clear()
             self._next_ord = self._max_ord() + 1
         except Exception:

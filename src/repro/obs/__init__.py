@@ -1,0 +1,35 @@
+"""Observability and admission control plane for the serving stack.
+
+One :class:`MetricsRegistry` per serving stack is the single source of
+truth for operational accounting: request counters with per-document
+and per-kind labels, queue-depth gauges, and fixed-bucket latency
+histograms with p50/p95/p99 snapshots.  ``net/`` components emit into
+the registry; ``cli stats``, the in-band ``stats``/``health`` wire
+messages, and the ``serve --metrics-port`` scrape endpoint read from
+it.  :class:`FairShareAdmission` layers per-tenant token-bucket quotas
+with weighted borrowing from a shared pool on top of the same numbers.
+"""
+
+from .admission import FairShareAdmission, TenantQuota, TokenBucket
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labels_key,
+)
+from .scrape import MetricsServer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "DEFAULT_LATENCY_BUCKETS",
+    "labels_key",
+    "FairShareAdmission",
+    "TenantQuota",
+    "TokenBucket",
+]

@@ -1,0 +1,243 @@
+"""Per-tenant token-bucket quotas and weighted fair-share admission.
+
+The serving engine (``net/engine.py``) used to expose raw admission
+hooks (PR 6): arbitrary callables deciding shed-or-serve per request.
+This module replaces that with a declarative control plane:
+
+* :class:`TokenBucket` — the classic leaky-bucket rate limiter with a
+  guaranteed refill rate and a burst ceiling.
+* :class:`FairShareAdmission` — a per-tenant map of token buckets plus
+  a shared overflow pool.  A tenant whose guaranteed bucket is empty
+  may borrow from the pool; borrowing is weighted, so when the pool is
+  contended a tenant with weight 2 can draw twice the share of a
+  tenant with weight 1 before being shed.
+
+Both classes take an injectable ``clock`` so tests and chaos harnesses
+can drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["TokenBucket", "FairShareAdmission", "TenantQuota"]
+
+
+class TokenBucket:
+    """A monotonic-clock token bucket.
+
+    ``rate`` tokens accrue per second up to ``burst`` capacity.  The
+    bucket starts full.  :meth:`try_acquire` either consumes a token
+    and returns ``None`` or leaves state untouched and returns the
+    seconds until a token will be available (a retry-after hint).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Create a full bucket refilling at ``rate``/s up to ``burst``."""
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        if burst <= 0:
+            raise ValueError("token bucket burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Optional[float]:
+        """Consume ``tokens`` and return None, or return retry-after seconds."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return None
+            deficit = tokens - self._tokens
+            return deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (after refill)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class TenantQuota:
+    """One tenant's quota state: guaranteed bucket, weight, borrow ledger."""
+
+    __slots__ = ("tenant", "bucket", "weight", "borrowed", "admitted", "shed")
+
+    def __init__(self, tenant: str, bucket: TokenBucket, weight: float) -> None:
+        """Bind a tenant name to its guaranteed bucket and fair-share weight."""
+        self.tenant = tenant
+        self.bucket = bucket
+        self.weight = float(weight)
+        self.borrowed = 0.0
+        self.admitted = 0
+        self.shed = 0
+
+
+class FairShareAdmission:
+    """Weighted fair-share admission over per-tenant token buckets.
+
+    Each tenant gets a guaranteed :class:`TokenBucket`.  When a tenant's
+    own bucket is empty, it may draw from the shared overflow pool (if
+    one is configured) — but only while its *borrow share* is within its
+    weight fraction: a tenant may hold at most
+    ``weight / total_weight`` of all outstanding borrowed tokens, so a
+    heavy tenant cannot starve light ones out of the pool.  Borrow
+    ledgers decay at the pool refill rate, mirroring the pool itself.
+
+    Tenants without a configured quota are admitted unconditionally
+    (quota-less deployments behave exactly as before this class
+    existed), unless a ``default_quota`` is set.
+    """
+
+    __slots__ = ("_tenants", "_pool", "_default", "_clock", "_lock",
+                 "_ledger_stamp", "_pool_rate")
+
+    def __init__(
+        self,
+        pool_rate: Optional[float] = None,
+        pool_burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Create an admission controller, optionally with an overflow pool."""
+        self._tenants: Dict[str, TenantQuota] = {}
+        self._default: Optional[TenantQuota] = None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ledger_stamp = clock()
+        self._pool: Optional[TokenBucket] = None
+        self._pool_rate = 0.0
+        if pool_rate is not None:
+            burst = pool_burst if pool_burst is not None else pool_rate
+            self._pool = TokenBucket(pool_rate, burst, clock)
+            self._pool_rate = float(pool_rate)
+
+    def set_pool(self, rate: float, burst: Optional[float] = None) -> None:
+        """Configure (or replace) the shared overflow pool after construction."""
+        pool = TokenBucket(rate, burst if burst is not None else rate, self._clock)
+        with self._lock:
+            self._pool = pool
+            self._pool_rate = float(rate)
+
+    def set_quota(
+        self,
+        tenant: str,
+        rate: float,
+        burst: Optional[float] = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Configure (or replace) a tenant's guaranteed quota and weight."""
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        bucket = TokenBucket(rate, burst if burst is not None else rate, self._clock)
+        with self._lock:
+            self._tenants[tenant] = TenantQuota(tenant, bucket, weight)
+
+    def set_default_quota(
+        self, rate: float, burst: Optional[float] = None, weight: float = 1.0
+    ) -> None:
+        """Quota applied to tenants that have no explicit configuration."""
+        bucket = TokenBucket(rate, burst if burst is not None else rate, self._clock)
+        with self._lock:
+            self._default = TenantQuota("*", bucket, weight)
+
+    def clear_quota(self, tenant: str) -> None:
+        """Remove a tenant's quota (it becomes unlimited again)."""
+        with self._lock:
+            self._tenants.pop(tenant, None)
+
+    def quotas(self) -> Dict[str, TenantQuota]:
+        """Snapshot of configured tenant quotas (shared objects)."""
+        with self._lock:
+            return dict(self._tenants)
+
+    def _decay_ledgers_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._ledger_stamp
+        self._ledger_stamp = now
+        if elapsed <= 0 or self._pool_rate <= 0:
+            return
+        decay = elapsed * self._pool_rate
+        for quota in self._tenants.values():
+            quota.borrowed = max(0.0, quota.borrowed - decay)
+
+    def try_admit(self, tenant: str) -> Optional[float]:
+        """Admit one request for ``tenant``.
+
+        Returns ``None`` on admission or a retry-after hint in seconds
+        when the request should be shed.
+        """
+        with self._lock:
+            quota = self._tenants.get(tenant)
+            if quota is None:
+                quota = self._default
+            if quota is None:
+                return None  # unlimited tenant
+            self._decay_ledgers_locked()
+            retry_after = quota.bucket.try_acquire()
+            if retry_after is None:
+                quota.admitted += 1
+                return None
+            pool_hint = self._try_borrow_locked(quota)
+            if pool_hint is None:
+                quota.admitted += 1
+                return None
+            quota.shed += 1
+            return min(retry_after, pool_hint)
+
+    def _try_borrow_locked(self, quota: TenantQuota) -> Optional[float]:
+        if self._pool is None:
+            return float("inf")
+        total_weight = sum(q.weight for q in self._tenants.values())
+        if quota is self._default or total_weight <= 0:
+            share_cap = self._pool.burst
+        else:
+            outstanding = sum(q.borrowed for q in self._tenants.values())
+            share_cap = (quota.weight / total_weight) * max(
+                self._pool.burst, outstanding + 1.0
+            )
+            if quota.borrowed + 1.0 > share_cap:
+                # Over fair share of the contended pool: shed, and let the
+                # ledger decay bring the tenant back under its cap.
+                return max((quota.borrowed + 1.0 - share_cap) / self._pool_rate,
+                           1.0 / self._pool_rate)
+        hint = self._pool.try_acquire()
+        if hint is None:
+            quota.borrowed += 1.0
+            return None
+        return hint
+
+    def ledger(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant accounting view (admitted/shed/borrowed/available)."""
+        with self._lock:
+            self._decay_ledgers_locked()
+            out: Dict[str, Dict[str, float]] = {}
+            for tenant, quota in self._tenants.items():
+                out[tenant] = {
+                    "admitted": quota.admitted,
+                    "shed": quota.shed,
+                    "borrowed": quota.borrowed,
+                    "available": quota.bucket.available,
+                    "weight": quota.weight,
+                }
+            return out
